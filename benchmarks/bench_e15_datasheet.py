@@ -1,0 +1,65 @@
+"""E15 — component datasheet micro-envelope (paper Sections II-A/B/D).
+
+Claims regenerated: Centaur links at 28.8 GB/s each (3 x 9.6 GB/s, 2:1
+read:write) rolling up to 230 GB/s sustained per fully-populated socket
+at 40 ns latency; P100 FP64/32/16 peaks of 5.3/10.6/21.2 TFlops; NVLink
+links at 40 GB/s bidirectional ganging to 160 GB/s on 4 links, with the
+Garrison's 2-link gangs at 80 GB/s bidirectional CPU<->GPU and GPU<->GPU.
+"""
+
+import pytest
+
+from repro.hardware import (
+    CENTAUR_DDR4,
+    NVLINK_1,
+    TESLA_P100,
+    CentaurLink,
+    GpuModel,
+    MemorySubsystem,
+    NodeFabric,
+)
+
+
+def _datasheet_rollup():
+    link = CentaurLink()
+    full_socket = MemorySubsystem(
+        CENTAUR_DDR4.__class__(**{**CENTAUR_DDR4.__dict__, "channels": 8})
+    )
+    gpu = GpuModel()
+    fabric = NodeFabric()
+    return link, full_socket, gpu, fabric
+
+
+def test_e15_datasheet(benchmark, table):
+    link, full_socket, gpu, fabric = benchmark(_datasheet_rollup)
+    table(
+        "E15: datasheet roll-up (paper claim vs model)",
+        ["quantity", "paper", "measured"],
+        [
+            ["Centaur link bandwidth", "28.8 GB/s", f"{link.total_bandwidth_Bps / 1e9:.1f} GB/s"],
+            ["Centaur lanes", "9.6 GB/s, 2:1 R:W",
+             f"{link.lane_bandwidth_Bps / 1e9:.1f} GB/s, {link.read_lanes}:{link.write_lanes}"],
+            ["socket sustained BW (8 Centaur)", "230 GB/s",
+             f"{full_socket.sustained_bandwidth_Bps / 1e9:.0f} GB/s"],
+            ["memory latency", "40 ns", f"{full_socket.latency_s * 1e9:.0f} ns"],
+            ["socket capacity", "1 TB", f"{full_socket.spec.capacity_per_socket_bytes / 1024**4:.0f} TB"],
+            ["socket L4 (8 Centaur)", "128 MB", f"{full_socket.l4_cache_bytes / 1024**2:.0f} MB"],
+            ["P100 FP64", "5.3 TFlops", f"{gpu.spec.fp64_flops / 1e12:.1f} TFlops"],
+            ["P100 FP32", "10.6 TFlops", f"{gpu.spec.fp32_flops / 1e12:.1f} TFlops"],
+            ["P100 FP16", "21.2 TFlops", f"{gpu.spec.fp16_flops / 1e12:.1f} TFlops"],
+            ["NVLink per link (bidir)", "40 GB/s", f"{NVLINK_1.bidir_bandwidth_Bps / 1e9:.0f} GB/s"],
+            ["NVLink 4-link gang (bidir)", "160 GB/s",
+             f"{4 * NVLINK_1.bidir_bandwidth_Bps / 1e9:.0f} GB/s"],
+            ["Garrison CPU<->GPU gang (bidir)", "80 GB/s",
+             f"{2 * fabric.transfer('cpu0', 'gpu0', 1).bandwidth_Bps / 1e9:.0f} GB/s"],
+        ],
+    )
+    assert link.total_bandwidth_Bps == pytest.approx(28.8e9)
+    assert full_socket.sustained_bandwidth_Bps == pytest.approx(230e9)
+    assert full_socket.l4_cache_bytes == 128 * 1024**2
+    assert gpu.spec.fp64_flops == pytest.approx(5.3e12)
+    assert gpu.spec.fp16_flops == pytest.approx(21.2e12)
+    assert NVLINK_1.bidir_bandwidth_Bps == pytest.approx(40e9)
+    # Garrison wiring: 80 GB/s bidirectional CPU<->GPU and GPU<->GPU gangs.
+    assert fabric.transfer("cpu0", "gpu0", 1).bandwidth_Bps == pytest.approx(40e9)
+    assert fabric.gpu_peer_bandwidth_Bps(0, 1) == pytest.approx(40e9)

@@ -1,0 +1,84 @@
+"""E17 — why phase III switched to POWER8+, and Unified Memory at scale.
+
+Two claims from the project narrative:
+
+* §I: "For the third phase ARM SoC have been replaced with IBM's
+  POWER8-NVLink CPUs to exploit best-in-class acceleration technology
+  which was not supported in ARM" — regenerated as the phase-II
+  (ARM + GPUs over PCIe) vs phase-III (POWER8+ + NVLink) comparison on
+  the NVLink-sensitive applications;
+* §IV-B: NEMO's "availability of memory on the GPU can become the
+  bottleneck for very big input cases.  Because of NVLink ... NEMO will
+  going to be a good test case to evaluate ... NVIDIA Unified Memory" —
+  regenerated as the oversubscription sweep on both link types.
+"""
+
+import pytest
+
+from repro.apps import ExecutionPlatform, UnifiedMemoryModel, bqcd, quantum_espresso
+from repro.hardware import PHASE2_NODE, ComputeNode, phase2_fabric
+
+
+def _phase_comparison():
+    results = {}
+    for app_name, factory in [("qe", quantum_espresso), ("bqcd", bqcd)]:
+        app = factory(scale=0.5, n_iterations=10)
+        # Phase II: ARM host, 2 GPUs, PCIe fabric.
+        p2_node = ComputeNode(spec=PHASE2_NODE)
+        p2 = ExecutionPlatform("phase2-arm", node=p2_node, use_gpus=True, nvlink=False)
+        p2.fabric = phase2_fabric()
+        # Phase III: the Garrison node.
+        p3 = ExecutionPlatform.gpu_nvlink()
+        results[app_name] = (p2.run(app, n_nodes=4), p3.run(app, n_nodes=4))
+    return results
+
+
+def test_e17_phase2_vs_phase3(benchmark, table):
+    results = benchmark(_phase_comparison)
+    rows = []
+    for app_name, (p2, p3) in results.items():
+        rows.append([
+            app_name,
+            f"{p2.time_to_solution_s:.3f}",
+            f"{p3.time_to_solution_s:.3f}",
+            f"{p2.time_to_solution_s / p3.time_to_solution_s:.2f}x",
+            f"{p2.energy_to_solution_j / p3.energy_to_solution_j:.2f}x",
+        ])
+    table(
+        "E17: phase-II (ARM+2 GPU, PCIe) vs phase-III (Garrison, NVLink), 4 nodes",
+        ["app", "phase-II TTS [s]", "phase-III TTS [s]", "speedup", "energy ratio"],
+        rows,
+    )
+    for app_name, (p2, p3) in results.items():
+        # The Garrison node (4 GPUs + NVLink) wins time-to-solution
+        # decisively on the NVLink-sensitive codes.
+        assert p3.time_to_solution_s < p2.time_to_solution_s / 1.5, app_name
+
+
+def _oversubscription_sweep():
+    ratios = [0.5, 1.0, 1.25, 1.5, 2.0]
+    return (
+        ratios,
+        UnifiedMemoryModel.nvlink().sweep(ratios),
+        UnifiedMemoryModel.pcie().sweep(ratios),
+    )
+
+
+def test_e17a_unified_memory_oversubscription(benchmark, table):
+    ratios, nvlink, pcie = benchmark(_oversubscription_sweep)
+    table(
+        "E17a: Unified Memory slowdown vs working set (x HBM capacity)",
+        ["working set", "NVLink slowdown", "PCIe slowdown"],
+        [
+            [f"{r:g}x", f"{n.slowdown:.2f}x", f"{p.slowdown:.2f}x"]
+            for r, n, p in zip(ratios, nvlink, pcie)
+        ],
+    )
+    # Fully resident: no penalty on either.
+    assert nvlink[0].slowdown == pytest.approx(1.0)
+    assert pcie[0].slowdown == pytest.approx(1.0)
+    # Oversubscribed: both pay, PCIe pays several times more — the
+    # paper's reason NEMO's big cases are a POWER+NVLink test case.
+    for n, p in zip(nvlink[2:], pcie[2:]):
+        assert n.slowdown > 1.5
+        assert p.slowdown > n.slowdown * 2

@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index and
+prints the paper-claim vs measured rows (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables; EXPERIMENTS.md records the
+outcomes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print one experiment's result table to the bench log."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    """The row-printing helper as a fixture."""
+    return print_table

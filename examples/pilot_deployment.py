@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The Section-I deployment roadmap, executed end to end.
+
+"The first sample nodes will be available from mid March 2017 ... All
+the nodes will be assembled and tested using the E4 standard burn-in
+suite ... The whole system will be fully configured in April 2017 in
+the E4 facility in order to perform baseline performance, power and
+energy benchmarks using air cooling.  It will be converted to liquid
+cooling starting from June 2017 then installed at CINECA premises."
+
+This example walks the pilot through exactly those stages:
+
+1. burn-in acceptance of all 45 Garrison nodes;
+2. the air-cooled baseline at the E4 facility — quantifying the
+   throttling penalty the interim configuration pays;
+3. conversion to direct liquid cooling — full sustained performance and
+   the production heat split;
+4. production acceptance at CINECA: envelope, per-rack feeds, efficiency.
+
+Run:  python examples/pilot_deployment.py
+"""
+
+from repro.cooling import (
+    AIR_COOLED_GPU,
+    LIQUID_COOLED_GPU,
+    ThrottleGovernor,
+    heat_split_for_rack,
+)
+from repro.hardware import BurnInSuite, Cluster, RackManagementController
+
+
+def stage1_burn_in(cluster: Cluster) -> None:
+    print("stage 1 — E4 burn-in of all nodes")
+    suite = BurnInSuite()
+    failures = 0
+    for node in cluster.nodes:
+        report = suite.run(node)
+        if not report.passed:
+            failures += 1
+            for f in report.failures():
+                print(f"  node{node.node_id}: FAIL {f.name}: {f.detail}")
+    print(f"  {cluster.n_nodes - failures}/{cluster.n_nodes} nodes accepted\n")
+
+
+def stage2_air_baseline() -> float:
+    print("stage 2 — air-cooled baseline at the E4 facility (April 2017)")
+    gov = ThrottleGovernor()
+    result = gov.run(AIR_COOLED_GPU(28.0), demand_power_w=300.0, duration_s=1800.0)
+    print(f"  P100 sustained performance on air: {result.mean_performance_fraction:.3f}")
+    print(f"  time spent throttled: {result.throttled_fraction * 100:.0f}%")
+    print("  (this is the penalty the interim air configuration accepts)\n")
+    return result.mean_performance_fraction
+
+
+def stage3_liquid_conversion(cluster: Cluster, air_perf: float) -> None:
+    print("stage 3 — conversion to direct liquid cooling (June 2017)")
+    gov = ThrottleGovernor()
+    result = gov.run(LIQUID_COOLED_GPU(35.0), demand_power_w=300.0, duration_s=1800.0)
+    print(f"  P100 sustained performance on 35 degC water: "
+          f"{result.mean_performance_fraction:.3f} "
+          f"(+{(result.mean_performance_fraction / air_perf - 1) * 100:.0f}% vs air)")
+    for rack in cluster.racks:
+        for node in rack.nodes:
+            node.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+    split = heat_split_for_rack(cluster.racks[0])
+    print(f"  rack heat split: {split.liquid_fraction * 100:.0f}% liquid / "
+          f"{(1 - split.liquid_fraction) * 100:.0f}% air (paper: 75-80/20-25)\n")
+
+
+def stage4_production_acceptance(cluster: Cluster) -> None:
+    print("stage 4 — production acceptance at CINECA")
+    rmcs = [RackManagementController(rack) for rack in cluster.racks]
+    for rmc in rmcs:
+        rmc.optimize_fans()
+    power = cluster.facility_power_w()
+    print(f"  system peak:    {cluster.nameplate_flops / 1e15:.3f} PFlops (target 1 PFlops)")
+    print(f"  system power:   {power / 1e3:.1f} kW (envelope < 100 kW)")
+    for rmc in rmcs:
+        h = rmc.health_summary()
+        print(f"  rack {h['rack_id']}: {h['facility_power_w'] / 1e3:5.1f} kW "
+              f"(feed OK: {h['within_feed']}), fans {h['fan_fraction']:.2f}, "
+              f"exhaust {h['exhaust_temp_c']:.1f} degC")
+    eff = cluster.energy_efficiency_flops_per_w() / 1e9
+    print(f"  efficiency:     {eff:.2f} GFlops/W (the ~10 GF/W design point)")
+    verdict = power < 100e3 and all(r.health_summary()["within_feed"] for r in rmcs)
+    print(f"\n  ACCEPTANCE: {'PASS' if verdict else 'FAIL'}")
+
+
+def main() -> None:
+    cluster = Cluster()
+    stage1_burn_in(cluster)
+    air_perf = stage2_air_baseline()
+    stage3_liquid_conversion(cluster, air_perf)
+    stage4_production_acceptance(cluster)
+
+
+if __name__ == "__main__":
+    main()

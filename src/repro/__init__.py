@@ -1,0 +1,58 @@
+"""repro — a full-stack reproduction of the D.A.V.I.D.E. energy-aware
+petaflops-class HPC cluster (Abu Ahmad et al., 2017).
+
+The package implements, from scratch, every system the paper describes:
+the hardware envelope (POWER8+/P100 Garrison nodes, OpenRack power
+shelves, EDR fat-tree), the BeagleBone energy-gateway monitoring chain
+(sensors, 12-bit SAR ADC, hardware decimation, MQTT, PTP), the
+energy-aware software stack (per-job accounting, job-power predictors,
+proactive + reactive power-capped scheduling, energy-proportionality
+APIs), the cooling plant (direct liquid cooling, thermal throttling),
+and phase models of the four ported applications.
+
+Start with :class:`repro.core.DavideSystem` for the integrated Fig.-4
+pipeline, or import the subsystem packages directly.
+"""
+
+from . import (
+    analysis,
+    apps,
+    capping,
+    cooling,
+    core,
+    energyapi,
+    hardware,
+    monitoring,
+    network,
+    power,
+    prediction,
+    scheduler,
+    sim,
+    telemetry,
+    timesync,
+)
+from .core import CampaignReport, DavideConfig, DavideSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignReport",
+    "DavideConfig",
+    "DavideSystem",
+    "__version__",
+    "analysis",
+    "apps",
+    "capping",
+    "cooling",
+    "core",
+    "energyapi",
+    "hardware",
+    "monitoring",
+    "network",
+    "power",
+    "prediction",
+    "scheduler",
+    "sim",
+    "telemetry",
+    "timesync",
+]

@@ -1,0 +1,37 @@
+"""Analysis: energy metrics, TCO, Top500/Green500 snapshot, exascale projection."""
+
+from .exascale import ExascaleProjection, project_exascale
+from .linpack import HplModel, HplPoint
+from .metrics import (
+    TcoModel,
+    energy_delay_product,
+    energy_to_solution_j,
+    flops_per_watt,
+    pue,
+)
+from .top500 import (
+    NOV2016_SNAPSHOT,
+    SystemEntry,
+    davide_projection,
+    efficiency_ratio,
+    green500_ranking,
+    top500_ranking,
+)
+
+__all__ = [
+    "ExascaleProjection",
+    "HplModel",
+    "HplPoint",
+    "NOV2016_SNAPSHOT",
+    "SystemEntry",
+    "project_exascale",
+    "TcoModel",
+    "davide_projection",
+    "efficiency_ratio",
+    "energy_delay_product",
+    "energy_to_solution_j",
+    "flops_per_watt",
+    "green500_ranking",
+    "pue",
+    "top500_ranking",
+]

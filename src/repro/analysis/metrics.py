@@ -1,0 +1,103 @@
+"""Energy metrics and the TCO model.
+
+The figures of merit the paper's introduction argues in: Flops/W (the
+Green500 metric), energy-to-solution, energy-delay product, PUE, and the
+total cost of ownership split between capex and energy opex that makes
+"power consumption ... responsible for a significant slice of their TCO".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "flops_per_watt",
+    "energy_to_solution_j",
+    "energy_delay_product",
+    "pue",
+    "TcoModel",
+]
+
+
+def flops_per_watt(flops: float, power_w: float) -> float:
+    """The Green500 metric."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    if flops < 0:
+        raise ValueError("flops must be non-negative")
+    return flops / power_w
+
+
+def energy_to_solution_j(mean_power_w: float, time_s: float) -> float:
+    """ETS of one run."""
+    if mean_power_w < 0 or time_s < 0:
+        raise ValueError("power and time must be non-negative")
+    return mean_power_w * time_s
+
+
+def energy_delay_product(energy_j: float, time_s: float) -> float:
+    """EDP (lower is better)."""
+    if energy_j < 0 or time_s < 0:
+        raise ValueError("energy and time must be non-negative")
+    return energy_j * time_s
+
+
+def pue(facility_power_w: float, it_power_w: float) -> float:
+    """Power usage effectiveness."""
+    if it_power_w <= 0:
+        raise ValueError("IT power must be positive")
+    if facility_power_w < it_power_w:
+        raise ValueError("facility power cannot be below IT power")
+    return facility_power_w / it_power_w
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Total cost of ownership over the system's service life."""
+
+    capex: float                      # purchase + installation
+    it_power_w: float                 # average IT draw
+    pue: float = 1.1
+    electricity_price_per_kwh: float = 0.25
+    lifetime_years: float = 5.0
+    utilization: float = 0.85         # fraction of time at the average draw
+    maintenance_fraction_per_year: float = 0.05  # of capex
+
+    def __post_init__(self) -> None:
+        if self.capex < 0 or self.it_power_w <= 0:
+            raise ValueError("invalid capex or IT power")
+        if self.pue < 1.0:
+            raise ValueError("PUE must be >= 1")
+        if not 0 < self.utilization <= 1:
+            raise ValueError("utilization must lie in (0, 1]")
+
+    @property
+    def annual_energy_kwh(self) -> float:
+        """Facility energy per year."""
+        hours = 8760.0 * self.utilization
+        return self.it_power_w * self.pue / 1000.0 * hours
+
+    @property
+    def annual_energy_cost(self) -> float:
+        """Electricity bill per year."""
+        return self.annual_energy_kwh * self.electricity_price_per_kwh
+
+    @property
+    def lifetime_energy_cost(self) -> float:
+        """Electricity over the service life."""
+        return self.annual_energy_cost * self.lifetime_years
+
+    @property
+    def lifetime_maintenance_cost(self) -> float:
+        """Maintenance over the service life."""
+        return self.capex * self.maintenance_fraction_per_year * self.lifetime_years
+
+    @property
+    def total(self) -> float:
+        """Lifetime TCO."""
+        return self.capex + self.lifetime_energy_cost + self.lifetime_maintenance_cost
+
+    @property
+    def energy_fraction(self) -> float:
+        """Share of the TCO that is electricity — the paper's motivation."""
+        return self.lifetime_energy_cost / self.total

@@ -1,0 +1,34 @@
+"""Application models (QE, NEMO, SPECFEM3D, BQCD) and real mini-kernels."""
+
+from .base import (
+    ApplicationModel,
+    CommKind,
+    Device,
+    ExecutionPlatform,
+    ExecutionReport,
+    Phase,
+)
+from .codes import ALL_APPS, bqcd, nemo, quantum_espresso, specfem3d
+from .kernels import CgResult, cg_solve, fft_poisson_solve, sem_element_update, stencil_sweep
+from .unified_memory import OversubscriptionPoint, UnifiedMemoryModel
+
+__all__ = [
+    "ALL_APPS",
+    "ApplicationModel",
+    "CgResult",
+    "CommKind",
+    "Device",
+    "ExecutionPlatform",
+    "ExecutionReport",
+    "OversubscriptionPoint",
+    "Phase",
+    "UnifiedMemoryModel",
+    "bqcd",
+    "cg_solve",
+    "fft_poisson_solve",
+    "nemo",
+    "quantum_espresso",
+    "sem_element_update",
+    "specfem3d",
+    "stencil_sweep",
+]

@@ -1,0 +1,25 @@
+"""Power capping: RAPL-style limiting, DVFS governor, PI capper, power sharing."""
+
+from .controller import CapperTelemetry, NodePowerCapper, PiController
+from .dvfs import DvfsGovernor, PaceResult
+from .rapl import RaplDomain, RaplResult
+from .sharing import (
+    allocation_quality,
+    proportional_share,
+    uniform_share,
+    water_filling,
+)
+
+__all__ = [
+    "CapperTelemetry",
+    "DvfsGovernor",
+    "NodePowerCapper",
+    "PaceResult",
+    "PiController",
+    "RaplDomain",
+    "RaplResult",
+    "allocation_quality",
+    "proportional_share",
+    "uniform_share",
+    "water_filling",
+]

@@ -1,0 +1,146 @@
+"""The node-level closed-loop power capper.
+
+Paper Section III-A2: "a total node power cap is maintained by local
+feedback controllers which tune the operating points of the internal
+components in the compute node to track the maximum power set point."
+
+A discrete PI controller reads the node's measured power (optionally
+through the energy gateway's sensing noise) each control period and
+drives the node's cap actuator (:meth:`ComputeNode.apply_power_cap`)
+to hold the set point under time-varying utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..hardware.node import ComputeNode
+
+__all__ = ["PiController", "NodePowerCapper", "CapperTelemetry"]
+
+
+class PiController:
+    """Textbook discrete PI with anti-windup output clamping."""
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float,
+        setpoint: float,
+        out_min: float,
+        out_max: float,
+    ):
+        if out_min >= out_max:
+            raise ValueError("out_min must be below out_max")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.setpoint = float(setpoint)
+        self.out_min = float(out_min)
+        self.out_max = float(out_max)
+        self._integral = 0.0
+
+    def update(self, measurement: float, dt_s: float) -> float:
+        """One control step; returns the clamped actuator command."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        error = self.setpoint - measurement
+        candidate = self._integral + error * dt_s
+        out = self.kp * error + self.ki * candidate
+        # Anti-windup: only integrate when not saturated (or when the
+        # error pushes back toward the linear region).
+        if self.out_min < out < self.out_max or error * candidate < error * self._integral:
+            self._integral = candidate
+        return float(np.clip(out, self.out_min, self.out_max))
+
+    def reset(self) -> None:
+        """Clear the integral state."""
+        self._integral = 0.0
+
+
+@dataclass(frozen=True)
+class CapperTelemetry:
+    """Per-period record of a capper run."""
+
+    times_s: np.ndarray
+    measured_w: np.ndarray
+    commanded_cap_w: np.ndarray
+    achieved_w: np.ndarray
+
+    def settling_time_s(self, setpoint_w: float, band: float = 0.05) -> float:
+        """Time after which achieved power stays within +-band of setpoint."""
+        tol = setpoint_w * band
+        ok = np.abs(self.achieved_w - np.minimum(self.measured_w, setpoint_w)) <= tol
+        inside = np.abs(self.achieved_w - setpoint_w) <= tol
+        # The run "settles" at the last sample that was outside the band.
+        outside = np.where(~(inside | (self.achieved_w <= setpoint_w + tol)))[0]
+        if outside.size == 0:
+            return 0.0
+        return float(self.times_s[outside[-1]])
+
+    def steady_state_error_w(self, setpoint_w: float, tail_fraction: float = 0.5) -> float:
+        """Mean overshoot above the setpoint over the tail of the run."""
+        tail = self.achieved_w[int(len(self.achieved_w) * (1 - tail_fraction)):]
+        return float(np.mean(np.maximum(tail - setpoint_w, 0.0)))
+
+
+class NodePowerCapper:
+    """PI loop from measured node power to the node's cap actuator."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        setpoint_w: float,
+        control_period_s: float = 0.1,
+        kp: float = 0.6,
+        ki: float = 2.0,
+        sensor_noise_w: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if setpoint_w <= 0 or control_period_s <= 0:
+            raise ValueError("setpoint and period must be positive")
+        self.node = node
+        self.setpoint_w = float(setpoint_w)
+        self.control_period_s = float(control_period_s)
+        self.sensor_noise_w = float(sensor_noise_w)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # The PI output is a *cap adjustment* around the setpoint; the
+        # actuator saturates between a deep trim and nameplate.
+        self.pi = PiController(
+            kp=kp, ki=ki, setpoint=setpoint_w,
+            out_min=-setpoint_w * 0.5, out_max=setpoint_w * 0.5,
+        )
+
+    def run(
+        self,
+        duration_s: float,
+        utilization_fn: Optional[Callable[[float], tuple[float, float]]] = None,
+    ) -> CapperTelemetry:
+        """Drive the loop for ``duration_s``.
+
+        ``utilization_fn(t)`` returns (cpu_util, gpu_util) at time t,
+        letting tests exercise workload steps; defaults to flat-out.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = max(int(round(duration_s / self.control_period_s)), 1)
+        t_arr = np.arange(n) * self.control_period_s
+        measured = np.empty(n)
+        commanded = np.empty(n)
+        achieved = np.empty(n)
+        for i, t in enumerate(t_arr):
+            cpu_u, gpu_u = (1.0, 1.0) if utilization_fn is None else utilization_fn(float(t))
+            self.node.set_utilization(cpu=cpu_u, gpu=gpu_u, memory_intensity=max(cpu_u, gpu_u))
+            raw = self.node.power_w()
+            meas = raw + float(self.rng.normal(0.0, self.sensor_noise_w))
+            adjustment = self.pi.update(meas, self.control_period_s)
+            cap = self.setpoint_w + adjustment
+            self.node.apply_power_cap(max(cap, 1.0))
+            measured[i] = meas
+            commanded[i] = cap
+            achieved[i] = self.node.power_w()
+        return CapperTelemetry(
+            times_s=t_arr, measured_w=measured, commanded_cap_w=commanded, achieved_w=achieved
+        )

@@ -1,0 +1,114 @@
+"""RAPL-style windowed-average power limiting.
+
+Paper Section V-D: "RAPL is a management interface that only requires the
+user to define a power threshold.  The internal hardware then performs
+automatic frequency scaling and power throttling in order to keep the
+power consumption within the user-specified limit.  RAPL employs an
+internal model of energy consumption to compute the average power
+consumption over a time frame, and tries to enforce the power cap as
+precisely as possible."
+
+The model reproduces that mechanism: a sliding window of recent energy
+samples yields the running average power; each control period the limiter
+adjusts a continuous *performance level* (standing in for the internal
+frequency/throttle state) so the windowed average tracks the limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["RaplDomain", "RaplResult"]
+
+
+@dataclass(frozen=True)
+class RaplResult:
+    """Outcome of a RAPL run over a demand trace."""
+
+    times_s: np.ndarray
+    granted_w: np.ndarray
+    window_avg_w: np.ndarray
+    performance_level: np.ndarray
+
+    def window_violation_fraction(self, limit_w: float) -> float:
+        """Fraction of control periods whose window average exceeds the limit."""
+        return float(np.mean(self.window_avg_w > limit_w * (1 + 1e-6)))
+
+    def mean_performance(self) -> float:
+        """Average performance level over the run."""
+        return float(self.performance_level.mean())
+
+
+class RaplDomain:
+    """One RAPL power domain (a socket or GPU board).
+
+    ``power_of_level(level)`` maps the performance level in [min_level, 1]
+    to the domain's power at the current demand; by default dynamic power
+    scales as level**2 (the f*V(f) regime) between the floor and demand.
+    """
+
+    def __init__(
+        self,
+        limit_w: float,
+        window_s: float = 1.0,
+        control_period_s: float = 0.01,
+        floor_w: float = 60.0,
+        min_level: float = 0.3,
+        gain: float = 0.3,
+    ):
+        if limit_w <= 0 or window_s <= 0 or control_period_s <= 0:
+            raise ValueError("limit, window and period must be positive")
+        if not 0 < min_level <= 1:
+            raise ValueError("min level must lie in (0, 1]")
+        if control_period_s > window_s:
+            raise ValueError("control period must not exceed the window")
+        self.limit_w = float(limit_w)
+        self.window_s = float(window_s)
+        self.control_period_s = float(control_period_s)
+        self.floor_w = float(floor_w)
+        self.min_level = float(min_level)
+        self.gain = float(gain)
+
+    def power_of_level(self, level: float, demand_w: float) -> float:
+        """Domain power at a performance level for a given demand."""
+        dynamic = max(demand_w - self.floor_w, 0.0)
+        return self.floor_w + dynamic * level**2
+
+    def run(self, demand: Callable[[float], float], duration_s: float) -> RaplResult:
+        """Enforce the limit over a time-varying demand function.
+
+        ``demand(t)`` is the power the workload would draw unthrottled.
+        Returns per-control-period telemetry.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = int(round(duration_s / self.control_period_s))
+        if n < 1:
+            raise ValueError("duration shorter than one control period")
+        window_len = max(int(round(self.window_s / self.control_period_s)), 1)
+        window: deque[float] = deque(maxlen=window_len)
+        level = 1.0
+        t_arr = np.arange(n) * self.control_period_s
+        granted = np.empty(n)
+        averages = np.empty(n)
+        levels = np.empty(n)
+        for i, t in enumerate(t_arr):
+            d = float(demand(t))
+            if d < 0:
+                raise ValueError("demand must be non-negative")
+            p = self.power_of_level(level, d)
+            window.append(p)
+            avg = float(np.mean(window))
+            # Proportional control on the window-average error.
+            error = (self.limit_w - avg) / max(self.limit_w, 1e-9)
+            level = float(np.clip(level + self.gain * error, self.min_level, 1.0))
+            granted[i] = p
+            averages[i] = avg
+            levels[i] = level
+        return RaplResult(
+            times_s=t_arr, granted_w=granted, window_avg_w=averages, performance_level=levels
+        )

@@ -1,0 +1,114 @@
+"""Dynamic power sharing across nodes (Section V-D, ref [34]).
+
+"An important aspect of RAPL-based techniques is the decision of the
+amount of power to allocate to each computing node: for example,
+algorithms that aim at sharing the available power among the nodes can
+lead to good results in terms of QoS."
+
+Given a system budget and per-node demands, three allocation policies:
+
+* **uniform** — budget / n to every node (the naive baseline);
+* **demand-proportional** — split in proportion to each node's demand;
+* **water-filling** — satisfy everyone up to a common level: nodes whose
+  demand is below the level keep their full demand, the rest are capped
+  at the level (the max-min fair allocation, which minimises the worst
+  relative trim).
+
+Each returns per-node grants; :func:`allocation_quality` scores the
+resulting per-node slowdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_share", "proportional_share", "water_filling", "allocation_quality"]
+
+
+def _validate(demands_w: np.ndarray, budget_w: float, floors_w: np.ndarray) -> None:
+    if budget_w <= 0:
+        raise ValueError("budget must be positive")
+    if np.any(demands_w < 0) or np.any(floors_w < 0):
+        raise ValueError("demands and floors must be non-negative")
+    if np.any(floors_w > demands_w + 1e-12):
+        raise ValueError("floors must not exceed demands")
+    if floors_w.sum() > budget_w:
+        raise ValueError("budget below the sum of uncontrollable floors")
+
+
+def uniform_share(demands_w, budget_w: float, floors_w=None) -> np.ndarray:
+    """Equal split, clipped to demand; surplus is NOT redistributed.
+
+    This deliberately reproduces the naive firmware default: lightly
+    loaded nodes strand budget that heavily loaded nodes could have used.
+    """
+    d = np.asarray(demands_w, dtype=float)
+    f = np.zeros_like(d) if floors_w is None else np.asarray(floors_w, dtype=float)
+    _validate(d, budget_w, f)
+    per = budget_w / d.size
+    return np.minimum(np.maximum(per, f), d)
+
+
+def proportional_share(demands_w, budget_w: float, floors_w=None) -> np.ndarray:
+    """Split the controllable budget in proportion to controllable demand."""
+    d = np.asarray(demands_w, dtype=float)
+    f = np.zeros_like(d) if floors_w is None else np.asarray(floors_w, dtype=float)
+    _validate(d, budget_w, f)
+    controllable = d - f
+    total = controllable.sum()
+    if total <= 0 or d.sum() <= budget_w:
+        return d.copy()
+    grant = f + controllable * (budget_w - f.sum()) / total
+    return np.minimum(grant, d)
+
+
+def water_filling(demands_w, budget_w: float, floors_w=None, tol: float = 1e-9) -> np.ndarray:
+    """Max-min fair allocation: cap everyone at a common water level.
+
+    Finds level L such that sum(min(demand, max(floor, L))) == budget;
+    nodes under the level keep their demand, the rest get exactly L.
+    """
+    d = np.asarray(demands_w, dtype=float)
+    f = np.zeros_like(d) if floors_w is None else np.asarray(floors_w, dtype=float)
+    _validate(d, budget_w, f)
+    if d.sum() <= budget_w:
+        return d.copy()
+    lo, hi = float(f.min()), float(d.max())
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        total = np.minimum(d, np.maximum(f, mid)).sum()
+        if abs(total - budget_w) <= tol * max(budget_w, 1.0):
+            break
+        if total > budget_w:
+            hi = mid
+        else:
+            lo = mid
+    level = (lo + hi) / 2
+    return np.minimum(d, np.maximum(f, level))
+
+
+def allocation_quality(
+    demands_w, grants_w, floors_w=None, speed_exponent: float = 0.75
+) -> dict[str, float]:
+    """Score an allocation by the slowdowns it induces.
+
+    Per-node speed = (granted dynamic / demanded dynamic) ** exponent.
+    Returns throughput (mean speed), worst-node speed (the QoS limiter
+    for tightly-coupled MPI jobs) and Jain's fairness index of speeds.
+    """
+    d = np.asarray(demands_w, dtype=float)
+    g = np.asarray(grants_w, dtype=float)
+    f = np.zeros_like(d) if floors_w is None else np.asarray(floors_w, dtype=float)
+    if d.shape != g.shape:
+        raise ValueError("shape mismatch")
+    dyn_demand = np.maximum(d - f, 1e-12)
+    dyn_grant = np.clip(g - f, 0.0, dyn_demand)
+    rho = dyn_grant / dyn_demand
+    speeds = rho**speed_exponent
+    jain = float(speeds.sum() ** 2 / (speeds.size * (speeds**2).sum())) if speeds.size else 0.0
+    return {
+        "mean_speed": float(speeds.mean()),
+        "min_speed": float(speeds.min()),
+        "jain_fairness": jain,
+        "granted_total_w": float(g.sum()),
+    }

@@ -1,0 +1,6 @@
+"""The integrated D.A.V.I.D.E. system: configuration and the Fig.-4 pipeline."""
+
+from .config import DavideConfig
+from .system import CampaignReport, DavideSystem
+
+__all__ = ["CampaignReport", "DavideConfig", "DavideSystem"]

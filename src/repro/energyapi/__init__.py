@@ -1,0 +1,13 @@
+"""Energy-proportionality node API and application instrumentation."""
+
+from .instrumentation import Instrumentation, TradeoffPoint, TradeoffRecorder
+from .nodeapi import ApiCallLog, ComponentConfig, NodeEnergyApi
+
+__all__ = [
+    "ApiCallLog",
+    "ComponentConfig",
+    "Instrumentation",
+    "NodeEnergyApi",
+    "TradeoffPoint",
+    "TradeoffRecorder",
+]

@@ -1,0 +1,118 @@
+"""Application-side instrumentation: region markers + energy-aware scopes.
+
+The developer-facing half of the Section-IV co-design loop: annotate
+coarse-grain code regions; the annotations (i) emit
+:class:`repro.telemetry.profiler.PhaseMarker` events the profiler
+correlates with power, and (ii) optionally apply a
+:class:`repro.energyapi.nodeapi.ComponentConfig` while the region runs
+(e.g. sleep the GPUs during an I/O region).
+
+"By iterating multiple times coding and experiments, application
+developers can compare time-to-solution versus energy-to-solution and
+identify the right tradeoff" — :class:`TradeoffRecorder` collects those
+(time, energy) pairs per experiment for exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..telemetry.profiler import PhaseMarker
+from .nodeapi import ComponentConfig, NodeEnergyApi
+
+__all__ = ["Instrumentation", "TradeoffRecorder", "TradeoffPoint"]
+
+
+class Instrumentation:
+    """Region annotation handle for one process.
+
+    ``clock`` supplies timestamps (simulated or the gateway-synchronized
+    clock); markers accumulate in :attr:`markers` for the profiler.
+    """
+
+    def __init__(self, clock: Callable[[], float], api: Optional[NodeEnergyApi] = None):
+        self.clock = clock
+        self.api = api
+        self.markers: list[PhaseMarker] = []
+        self._depth = 0
+
+    @contextmanager
+    def region(self, name: str, config: Optional[ComponentConfig] = None) -> Iterator[None]:
+        """Annotate a code region, optionally shaping the node while inside."""
+        t0 = self.clock()
+        self._depth += 1
+        applied = False
+        if config is not None and self.api is not None:
+            self.api.apply(config)
+            applied = True
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            if applied:
+                self.api.reset()
+            self.markers.append(PhaseMarker(region=name, t_enter_s=t0, t_exit_s=self.clock()))
+
+    def markers_for(self, region: str) -> list[PhaseMarker]:
+        """All recorded instances of one region."""
+        return [m for m in self.markers if m.region == region]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One experiment's (time, energy) outcome."""
+
+    label: str
+    time_to_solution_s: float
+    energy_to_solution_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (lower is better)."""
+        return self.time_to_solution_s * self.energy_to_solution_j
+
+
+@dataclass
+class TradeoffRecorder:
+    """Collects TTS/ETS pairs across tuning experiments."""
+
+    points: list[TradeoffPoint] = field(default_factory=list)
+
+    def record(self, label: str, time_s: float, energy_j: float) -> TradeoffPoint:
+        """Add one experiment's outcome."""
+        if time_s <= 0 or energy_j < 0:
+            raise ValueError("time must be positive and energy non-negative")
+        point = TradeoffPoint(label=label, time_to_solution_s=time_s, energy_to_solution_j=energy_j)
+        self.points.append(point)
+        return point
+
+    def best_energy(self) -> TradeoffPoint:
+        """Lowest energy-to-solution."""
+        if not self.points:
+            raise ValueError("no points recorded")
+        return min(self.points, key=lambda p: p.energy_to_solution_j)
+
+    def best_time(self) -> TradeoffPoint:
+        """Lowest time-to-solution."""
+        if not self.points:
+            raise ValueError("no points recorded")
+        return min(self.points, key=lambda p: p.time_to_solution_s)
+
+    def best_edp(self) -> TradeoffPoint:
+        """Lowest energy-delay product — the usual compromise pick."""
+        if not self.points:
+            raise ValueError("no points recorded")
+        return min(self.points, key=lambda p: p.edp)
+
+    def pareto_front(self) -> list[TradeoffPoint]:
+        """Non-dominated (time, energy) points, sorted by time."""
+        pts = sorted(self.points, key=lambda p: (p.time_to_solution_s, p.energy_to_solution_j))
+        front: list[TradeoffPoint] = []
+        best_energy = float("inf")
+        for p in pts:
+            if p.energy_to_solution_j < best_energy - 1e-12:
+                front.append(p)
+                best_energy = p.energy_to_solution_j
+        return front

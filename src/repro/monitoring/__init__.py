@@ -1,0 +1,58 @@
+"""Monitoring stack: MQTT broker, energy gateway, baselines, PowerAPI façade."""
+
+from .baselines import (
+    ArduPowerMonitor,
+    EnergyGatewayMonitor,
+    HdeemMonitor,
+    IpmiMonitor,
+    MonitoringSystem,
+    PowerInsightMonitor,
+    standard_monitors,
+)
+from .comparison import MonitorScore, aliasing_spread, compare_monitors
+from .daemon import CappingAgent, GatewayDaemon
+from .gateway import EnergyGateway, GatewayConfig
+from .insight import EfficiencyAuditor, Finding, HazardDetector, PowerAnomalyDetector
+from .mqtt import (
+    Message,
+    MqttBroker,
+    MqttClient,
+    Subscription,
+    topic_matches,
+    validate_filter,
+    validate_topic,
+)
+from .powerapi import Attribute, NodeObject, PlatformObject, PwrObject, make_platform
+
+__all__ = [
+    "ArduPowerMonitor",
+    "Attribute",
+    "CappingAgent",
+    "EfficiencyAuditor",
+    "EnergyGateway",
+    "Finding",
+    "GatewayDaemon",
+    "HazardDetector",
+    "PowerAnomalyDetector",
+    "EnergyGatewayMonitor",
+    "GatewayConfig",
+    "HdeemMonitor",
+    "IpmiMonitor",
+    "Message",
+    "MonitorScore",
+    "MonitoringSystem",
+    "MqttBroker",
+    "MqttClient",
+    "NodeObject",
+    "PlatformObject",
+    "PowerInsightMonitor",
+    "PwrObject",
+    "Subscription",
+    "aliasing_spread",
+    "compare_monitors",
+    "make_platform",
+    "standard_monitors",
+    "topic_matches",
+    "validate_filter",
+    "validate_topic",
+]

@@ -1,0 +1,113 @@
+"""Simulation-kernel integration: the gateway and capper as live agents.
+
+The rest of :mod:`repro.monitoring` exposes batch APIs (measure a trace,
+publish it).  This module runs the same components as *processes* on the
+discrete-event kernel of :mod:`repro.sim`, reproducing the runtime
+behaviour of the deployed system:
+
+* :class:`GatewayDaemon` — samples its node every period, publishes the
+  reading over MQTT (the BBB's firmware loop);
+* :class:`CappingAgent` — subscribes to the node's power stream and
+  actuates the node power cap whenever the measured power exceeds the
+  set point (the "local feedback controller" of §III-A2, running
+  asynchronously off the telemetry bus rather than in lockstep).
+
+The two never call each other — they interact only through the broker,
+exactly like the real components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hardware.node import ComputeNode
+from ..sim.engine import Environment
+from .mqtt import Message, MqttBroker, MqttClient
+
+__all__ = ["GatewayDaemon", "CappingAgent"]
+
+
+class GatewayDaemon:
+    """Periodic out-of-band sampling of one node, published over MQTT."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeNode,
+        broker: MqttBroker,
+        period_s: float = 0.1,
+        sensor_noise_w: float = 2.0,
+        topic_prefix: str = "davide",
+        rng: np.random.Generator | None = None,
+    ):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.node = node
+        self.period_s = float(period_s)
+        self.sensor_noise_w = float(sensor_noise_w)
+        self.rng = rng if rng is not None else np.random.default_rng(node.node_id)
+        self.client: MqttClient = broker.connect(f"eg-daemon-{node.node_id}")
+        self.topic = f"{topic_prefix}/node{node.node_id}/power/node"
+        self.samples_published = 0
+        self.process = env.process(self._run(), name=f"gateway-{node.node_id}")
+
+    def _run(self):
+        while True:
+            measured = self.node.power_w() + float(self.rng.normal(0.0, self.sensor_noise_w))
+            self.client.publish(
+                self.topic,
+                {"node": self.node.node_id, "t": self.env.now, "p": max(measured, 0.0)},
+                retain=True,
+            )
+            self.samples_published += 1
+            yield self.env.timeout(self.period_s)
+
+
+class CappingAgent:
+    """Asynchronous node capper driven purely by the telemetry stream."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeNode,
+        broker: MqttBroker,
+        setpoint_w: float,
+        hysteresis_w: float = 25.0,
+        actuation_delay_s: float = 0.01,
+        topic_prefix: str = "davide",
+    ):
+        if setpoint_w <= 0 or hysteresis_w < 0 or actuation_delay_s < 0:
+            raise ValueError("invalid capping agent parameters")
+        self.env = env
+        self.node = node
+        self.setpoint_w = float(setpoint_w)
+        self.hysteresis_w = float(hysteresis_w)
+        self.actuation_delay_s = float(actuation_delay_s)
+        self.client: MqttClient = broker.connect(f"capper-{node.node_id}")
+        self.client.on_message = self._on_sample
+        self.client.subscribe(f"{topic_prefix}/node{node.node_id}/power/node")
+        self.actuations = 0
+        self.capped = False
+        self._pending = False
+
+    def _on_sample(self, message: Message) -> None:
+        power = float(message.payload["p"])
+        over = power > self.setpoint_w
+        under = power < self.setpoint_w - self.hysteresis_w
+        if over and not self.capped and not self._pending:
+            self._pending = True
+            self.env.process(self._actuate(self.setpoint_w), name="cap-on")
+        elif under and self.capped and not self._pending:
+            self._pending = True
+            self.env.process(self._actuate(None), name="cap-off")
+
+    def _actuate(self, cap_w: float | None):
+        # Firmware/actuation latency before the new limits take effect.
+        yield self.env.timeout(self.actuation_delay_s)
+        self.node.apply_power_cap(cap_w)
+        self.capped = cap_w is not None
+        self.actuations += 1
+        self._pending = False

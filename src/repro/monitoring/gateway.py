@@ -1,0 +1,187 @@
+"""The energy and power gateway (EG): the BeagleBone on every node.
+
+Paper Section III-A1.  The EG is the paper's central monitoring
+contribution: an embedded SoC, out-of-band from the computing resources,
+that
+
+* samples the node's power rails at **800 kS/s** through the built-in
+  12-bit SAR ADC,
+* **averages in hardware to 50 kS/s** (boxcar x16),
+* timestamps samples with a **PTP-disciplined clock**, and
+* publishes them over **MQTT** so multiple agents (accounting, profiling,
+  capping) consume the same stream.
+
+The gateway composes the pieces built elsewhere: sensor models and the
+ADC from :mod:`repro.power`, the broker from
+:mod:`repro.monitoring.mqtt`, and any clock model from
+:mod:`repro.timesync` (anything with a ``read(true_time)`` method, or a
+plain callable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from ..hardware.node import ComputeNode
+from ..power.adc import AM335X_ADC, SarAdc
+from ..power.decimation import boxcar_decimate
+from ..power.sensors import SHUNT_SENSOR, PowerSensor, SensorSpec
+from ..power.trace import PowerTrace, trace_from_function
+from .mqtt import MqttBroker, MqttClient
+
+__all__ = ["GatewayConfig", "EnergyGateway"]
+
+ClockFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Acquisition parameters of the energy gateway."""
+
+    adc_rate_hz: float = 800e3       # paper: 800 kS/s
+    decimation: int = 16             # -> 50 kS/s published
+    publish_batch: int = 500         # samples per MQTT message
+    topic_prefix: str = "davide"
+    qos: int = 1                     # telemetry must not be silently lost
+
+    def __post_init__(self) -> None:
+        if self.adc_rate_hz <= 0 or self.decimation < 1 or self.publish_batch < 1:
+            raise ValueError("invalid gateway configuration")
+
+    @property
+    def output_rate_hz(self) -> float:
+        """Published sample rate (paper: 50 kS/s)."""
+        return self.adc_rate_hz / self.decimation
+
+
+class EnergyGateway:
+    """One node's out-of-band monitoring SoC."""
+
+    def __init__(
+        self,
+        node_id: int,
+        broker: MqttBroker,
+        config: GatewayConfig = GatewayConfig(),
+        sensor_spec: SensorSpec = SHUNT_SENSOR,
+        clock: Optional[ClockFn] = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.node_id = node_id
+        self.config = config
+        self.broker = broker
+        self.client: MqttClient = broker.connect(f"eg-node{node_id}")
+        self.adc = SarAdc(AM335X_ADC, rng=rng if rng is not None else np.random.default_rng(node_id))
+        self._sensor_spec = sensor_spec
+        self._sensors: dict[str, PowerSensor] = {}
+        self._rng = rng if rng is not None else np.random.default_rng(node_id + 1)
+        #: Maps true time -> gateway timestamp (PTP-disciplined in the
+        #: full system; identity by default).
+        self.clock: ClockFn = clock if clock is not None else (lambda t: t)
+        self.samples_published = 0
+
+    # -- acquisition -------------------------------------------------------------
+    def _sensor_for(self, rail: str) -> PowerSensor:
+        if rail not in self._sensors:
+            # Each rail gets its own sensor instance with a derived RNG so
+            # channel noise is independent but deterministic.
+            seed = abs(hash((self.node_id, rail))) % (2**32)
+            self._sensors[rail] = PowerSensor(self._sensor_spec, rng=np.random.default_rng(seed))
+        return self._sensors[rail]
+
+    def acquire(self, true_power: PowerTrace, rail: str = "node", channel: int = 0) -> PowerTrace:
+        """Digitize one rail's ground-truth power through the full chain.
+
+        Chain: sensor transfer -> 800 kS/s ADC sampling (staggered by the
+        multiplexer channel phase) -> x16 hardware average -> timestamps
+        rewritten through the gateway clock.
+        """
+        sensor = self._sensor_for(rail)
+        phase = (channel % self.adc.spec.n_channels) / self.adc.spec.n_channels
+        raw = self.adc.acquire_power(true_power, sensor, self.config.adc_rate_hz, channel_phase=phase)
+        decimated = boxcar_decimate(raw, self.config.decimation)
+        stamped_times = np.array([self.clock(t) for t in decimated.times_s])
+        return PowerTrace(stamped_times, decimated.power_w)
+
+    def measure_node(self, node: ComputeNode, duration_s: float, include_rails: bool = True) -> dict[str, PowerTrace]:
+        """Acquire all rails of a node in its *current* (static) state.
+
+        For dynamic workloads, feed :meth:`acquire` with the waveform
+        generators in :mod:`repro.power.workloads` instead.  Returns a
+        rail -> measured-trace mapping (always includes ``"node"``).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        breakdown = node.power_breakdown().as_dict()
+        dense_rate = self.config.adc_rate_hz * 4  # dense stand-in for continuous
+        out: dict[str, PowerTrace] = {}
+        rails: Mapping[str, float] = breakdown if include_rails else {}
+        total = sum(breakdown.values())
+        for channel, (rail, watts) in enumerate({"node": total, **dict(rails)}.items()):
+            truth = trace_from_function(lambda t, w=watts: np.full_like(t, w), duration_s, dense_rate)
+            out[rail] = self.acquire(truth, rail=rail, channel=channel)
+        return out
+
+    # -- publication ----------------------------------------------------------------
+    def topic(self, rail: str) -> str:
+        """The MQTT topic carrying a rail's samples."""
+        return f"{self.config.topic_prefix}/node{self.node_id}/power/{rail}"
+
+    def publish_trace(self, trace: PowerTrace, rail: str = "node") -> int:
+        """Publish a measured trace in batches; returns messages sent.
+
+        Each payload is ``{"t": array, "p": array, "node": id, "rail":
+        rail}`` — the flexible M2M integration of Section III-A1.  The
+        last batch is retained so late subscribers see the freshest data.
+        """
+        n = len(trace)
+        if n == 0:
+            return 0
+        sent = 0
+        batch = self.config.publish_batch
+        for start in range(0, n, batch):
+            end = min(start + batch, n)
+            last = end == n
+            self.client.publish(
+                self.topic(rail),
+                {
+                    "t": trace.times_s[start:end].copy(),
+                    "p": trace.power_w[start:end].copy(),
+                    "node": self.node_id,
+                    "rail": rail,
+                },
+                qos=self.config.qos,
+                retain=last,
+            )
+            sent += 1
+        self.samples_published += n
+        return sent
+
+    def acquire_and_publish(self, true_power: PowerTrace, rail: str = "node") -> PowerTrace:
+        """Convenience: full chain acquisition followed by publication."""
+        measured = self.acquire(true_power, rail=rail)
+        self.publish_trace(measured, rail=rail)
+        return measured
+
+    @staticmethod
+    def reassemble(messages: list) -> PowerTrace:
+        """Rebuild a PowerTrace from drained MQTT messages (one rail).
+
+        Drops duplicate (QoS-1 redelivered) batches by message id.
+        """
+        seen: set[int] = set()
+        times, powers = [], []
+        for msg in messages:
+            if msg.message_id in seen:
+                continue
+            seen.add(msg.message_id)
+            times.append(msg.payload["t"])
+            powers.append(msg.payload["p"])
+        if not times:
+            return PowerTrace(np.array([]), np.array([]))
+        t = np.concatenate(times)
+        p = np.concatenate(powers)
+        order = np.argsort(t)
+        return PowerTrace(t[order], p[order])

@@ -1,0 +1,334 @@
+"""An in-process MQTT-semantics message broker.
+
+Paper Section III-A1: the energy gateway publishes power samples over the
+MQTT machine-to-machine protocol, "which organizes the data-exchange in a
+topic/subscriber approach", so that measured values are "available in
+real-time to multiple agents with a low-latency and a synchronized
+timestamp".
+
+This module implements the MQTT semantics the system relies on, from
+scratch:
+
+* hierarchical topics with ``/`` levels;
+* subscription filters with single-level (``+``) and multi-level (``#``)
+  wildcards, validated per the MQTT 3.1.1 rules;
+* retained messages (a late subscriber immediately receives the last
+  retained sample per matching topic);
+* QoS 0 (fire and forget) and QoS 1 (at-least-once: redelivery until the
+  subscriber acknowledges — with the duplicate-delivery behaviour QoS 1
+  implies);
+* per-subscriber FIFO queues with overflow accounting (a slow profiling
+  agent must not stall the gateway's publish path).
+
+The broker is synchronous and deterministic; the optional
+:class:`repro.sim.Environment` integration timestamps messages with
+simulated time and models delivery latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Iterable, Optional
+
+__all__ = [
+    "Message",
+    "Subscription",
+    "MqttBroker",
+    "MqttClient",
+    "topic_matches",
+    "validate_topic",
+    "validate_filter",
+]
+
+
+def validate_topic(topic: str) -> None:
+    """Reject invalid *publish* topics (no wildcards, no empty string)."""
+    if not topic:
+        raise ValueError("topic must be non-empty")
+    if "+" in topic or "#" in topic:
+        raise ValueError(f"publish topic may not contain wildcards: {topic!r}")
+    if "\x00" in topic:
+        raise ValueError("topic may not contain NUL")
+
+
+def validate_filter(topic_filter: str) -> None:
+    """Reject invalid subscription filters per MQTT 3.1.1 rules."""
+    if not topic_filter:
+        raise ValueError("filter must be non-empty")
+    levels = topic_filter.split("/")
+    for i, level in enumerate(levels):
+        if level == "#":
+            if i != len(levels) - 1:
+                raise ValueError(f"'#' must be the last level: {topic_filter!r}")
+        elif "#" in level:
+            raise ValueError(f"'#' must occupy a whole level: {topic_filter!r}")
+        elif level != "+" and "+" in level:
+            raise ValueError(f"'+' must occupy a whole level: {topic_filter!r}")
+
+
+def topic_matches(topic_filter: str, topic: str) -> bool:
+    """Whether ``topic`` matches the subscription ``topic_filter``."""
+    f_levels = topic_filter.split("/")
+    t_levels = topic.split("/")
+    for i, f in enumerate(f_levels):
+        if f == "#":
+            return True
+        if i >= len(t_levels):
+            return False
+        if f != "+" and f != t_levels[i]:
+            return False
+    return len(f_levels) == len(t_levels)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A published sample/event."""
+
+    topic: str
+    payload: Any
+    qos: int = 0
+    retain: bool = False
+    timestamp: float = 0.0
+    message_id: int = 0
+    duplicate: bool = False
+
+
+@dataclass
+class Subscription:
+    """One client's interest in a topic filter."""
+
+    client: "MqttClient"
+    topic_filter: str
+    qos: int = 0
+
+
+class _TopicTrie:
+    """Trie over topic levels for O(levels) filter matching.
+
+    Each node stores the subscriptions anchored there; lookup walks the
+    published topic's levels following exact, ``+`` and ``#`` branches.
+    """
+
+    __slots__ = ("children", "subscriptions")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TopicTrie] = {}
+        self.subscriptions: list[Subscription] = []
+
+    def insert(self, levels: list[str], sub: Subscription) -> None:
+        node = self
+        for level in levels:
+            node = node.children.setdefault(level, _TopicTrie())
+        node.subscriptions.append(sub)
+
+    def remove(self, levels: list[str], client: "MqttClient", topic_filter: str) -> int:
+        node = self
+        for level in levels:
+            if level not in node.children:
+                return 0
+            node = node.children[level]
+        before = len(node.subscriptions)
+        node.subscriptions = [
+            s for s in node.subscriptions
+            if not (s.client is client and s.topic_filter == topic_filter)
+        ]
+        return before - len(node.subscriptions)
+
+    def collect(self, levels: list[str]) -> list[Subscription]:
+        out: list[Subscription] = []
+        self._collect(levels, 0, out)
+        return out
+
+    def _collect(self, levels: list[str], depth: int, out: list[Subscription]) -> None:
+        if "#" in self.children:
+            out.extend(self.children["#"].subscriptions)
+        if depth == len(levels):
+            out.extend(self.subscriptions)
+            return
+        level = levels[depth]
+        if level in self.children:
+            self.children[level]._collect(levels, depth + 1, out)
+        if "+" in self.children:
+            self.children["+"]._collect(levels, depth + 1, out)
+
+
+class MqttClient:
+    """A connected agent: subscriber queue + publish handle.
+
+    Delivery model: the broker appends to the client's inbox (bounded
+    FIFO).  The owner drains with :meth:`poll` / :meth:`drain`, or
+    registers a synchronous ``on_message`` callback for push delivery.
+    QoS 1 messages stay in the in-flight set until :meth:`acknowledge`.
+    """
+
+    def __init__(self, client_id: str, broker: "MqttBroker", inbox_limit: int = 100_000):
+        if inbox_limit < 1:
+            raise ValueError("inbox limit must be >= 1")
+        self.client_id = client_id
+        self.broker = broker
+        self.inbox: Deque[Message] = deque()
+        self.inbox_limit = inbox_limit
+        self.dropped_count = 0
+        self.on_message: Optional[Callable[[Message], None]] = None
+        self._inflight: dict[int, Message] = {}
+        self._seen_qos1: set[int] = set()
+
+    # -- client-side API -----------------------------------------------------
+    def subscribe(self, topic_filter: str, qos: int = 0) -> None:
+        """Register interest; retained messages arrive immediately."""
+        self.broker.subscribe(self, topic_filter, qos=qos)
+
+    def unsubscribe(self, topic_filter: str) -> None:
+        """Drop a subscription."""
+        self.broker.unsubscribe(self, topic_filter)
+
+    def publish(self, topic: str, payload: Any, qos: int = 0, retain: bool = False) -> Message:
+        """Publish through the broker."""
+        return self.broker.publish(topic, payload, qos=qos, retain=retain, sender=self)
+
+    def poll(self) -> Optional[Message]:
+        """Pop the oldest inbox message, or None."""
+        return self.inbox.popleft() if self.inbox else None
+
+    def drain(self) -> list[Message]:
+        """Pop everything currently queued."""
+        out = list(self.inbox)
+        self.inbox.clear()
+        return out
+
+    def acknowledge(self, message: Message) -> None:
+        """Complete QoS-1 delivery for ``message``."""
+        self._inflight.pop(message.message_id, None)
+
+    @property
+    def inflight_count(self) -> int:
+        """QoS-1 messages delivered but not yet acknowledged."""
+        return len(self._inflight)
+
+    # -- broker-side delivery ---------------------------------------------------
+    def _deliver(self, message: Message, sub_qos: int) -> None:
+        effective_qos = min(message.qos, sub_qos)
+        if effective_qos >= 1:
+            if message.message_id in self._seen_qos1 and not message.duplicate:
+                return
+            self._inflight[message.message_id] = message
+            self._seen_qos1.add(message.message_id)
+        if self.on_message is not None:
+            self.on_message(message)
+            return
+        if len(self.inbox) >= self.inbox_limit:
+            self.inbox.popleft()
+            self.dropped_count += 1
+        self.inbox.append(message)
+
+    def redeliver_inflight(self) -> list[Message]:
+        """QoS-1 retransmission pass: re-queue unacknowledged messages.
+
+        Returns the duplicates delivered (each flagged ``duplicate=True``,
+        as the real protocol's DUP flag does).
+        """
+        dups = []
+        for msg in list(self._inflight.values()):
+            dup = Message(
+                topic=msg.topic, payload=msg.payload, qos=msg.qos, retain=msg.retain,
+                timestamp=msg.timestamp, message_id=msg.message_id, duplicate=True,
+            )
+            self._inflight[msg.message_id] = dup
+            if self.on_message is not None:
+                self.on_message(dup)
+            else:
+                self.inbox.append(dup)
+            dups.append(dup)
+        return dups
+
+
+class MqttBroker:
+    """Topic-trie broker with retained messages and delivery stats."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._trie = _TopicTrie()
+        self._retained: dict[str, Message] = {}
+        self._clients: dict[str, MqttClient] = {}
+        self._msg_ids = itertools.count(1)
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.published_count = 0
+        self.delivered_count = 0
+
+    # -- connection management ----------------------------------------------
+    def connect(self, client_id: str, inbox_limit: int = 100_000) -> MqttClient:
+        """Create (or return the existing) client for ``client_id``."""
+        if client_id in self._clients:
+            return self._clients[client_id]
+        client = MqttClient(client_id, self, inbox_limit=inbox_limit)
+        self._clients[client_id] = client
+        return client
+
+    def disconnect(self, client: MqttClient) -> None:
+        """Remove a client and all its subscriptions."""
+        self._clients.pop(client.client_id, None)
+        self._purge_client(self._trie, client)
+
+    def _purge_client(self, node: _TopicTrie, client: MqttClient) -> None:
+        node.subscriptions = [s for s in node.subscriptions if s.client is not client]
+        for child in node.children.values():
+            self._purge_client(child, client)
+
+    @property
+    def client_count(self) -> int:
+        """Connected clients."""
+        return len(self._clients)
+
+    # -- subscribe / publish -------------------------------------------------
+    def subscribe(self, client: MqttClient, topic_filter: str, qos: int = 0) -> None:
+        """Add a subscription and replay matching retained messages."""
+        validate_filter(topic_filter)
+        if qos not in (0, 1):
+            raise ValueError("supported QoS levels are 0 and 1")
+        sub = Subscription(client=client, topic_filter=topic_filter, qos=qos)
+        self._trie.insert(topic_filter.split("/"), sub)
+        for topic, msg in self._retained.items():
+            if topic_matches(topic_filter, topic):
+                client._deliver(msg, qos)
+                self.delivered_count += 1
+
+    def unsubscribe(self, client: MqttClient, topic_filter: str) -> None:
+        """Remove one subscription (no error if absent)."""
+        validate_filter(topic_filter)
+        self._trie.remove(topic_filter.split("/"), client, topic_filter)
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any,
+        qos: int = 0,
+        retain: bool = False,
+        sender: Optional[MqttClient] = None,
+    ) -> Message:
+        """Route a message to every matching subscriber.
+
+        A retained publish with ``payload is None`` clears the retained
+        message for the topic (the MQTT zero-length-payload rule).
+        """
+        validate_topic(topic)
+        if qos not in (0, 1):
+            raise ValueError("supported QoS levels are 0 and 1")
+        msg = Message(
+            topic=topic, payload=payload, qos=qos, retain=retain,
+            timestamp=self._clock(), message_id=next(self._msg_ids),
+        )
+        if retain:
+            if payload is None:
+                self._retained.pop(topic, None)
+            else:
+                self._retained[topic] = msg
+        self.published_count += 1
+        for sub in self._trie.collect(topic.split("/")):
+            sub.client._deliver(msg, sub.qos)
+            self.delivered_count += 1
+        return msg
+
+    def retained_topics(self) -> list[str]:
+        """Topics currently holding a retained message."""
+        return sorted(self._retained)

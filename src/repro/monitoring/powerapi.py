@@ -1,0 +1,162 @@
+"""PowerAPI-style measurement façade.
+
+Paper Section III-A1: "The EG can be easily re-programmed to build on top
+of the MQTT communication emerging power measurement APIs (e.g. PowerAPI
+[12]), aiming to standardize the power measurement interface."
+
+This module implements the core abstractions of the Sandia Power API
+specification over the reproduction's object models: a hierarchy of
+measurable *objects* (platform -> cabinet -> node -> board/socket), typed
+*attributes* (``POWER``, ``ENERGY``, ``POWER_LIMIT``...), and
+``get``/``set`` operations with timestamps.  The node-level objects bind
+to :class:`repro.hardware.node.ComputeNode` actuators, so a ``set`` of
+``POWER_LIMIT`` actually drives the capping machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from ..hardware.cluster import Cluster
+from ..hardware.node import ComputeNode
+
+__all__ = ["Attribute", "PwrObject", "NodeObject", "PlatformObject", "make_platform"]
+
+
+class Attribute(enum.Enum):
+    """Measurable/controllable attributes (Power API attribute names)."""
+
+    POWER = "PWR_ATTR_POWER"
+    ENERGY = "PWR_ATTR_ENERGY"
+    POWER_LIMIT_MAX = "PWR_ATTR_POWER_LIMIT_MAX"
+    FREQ = "PWR_ATTR_FREQ"
+    TEMP = "PWR_ATTR_TEMP"
+
+
+@dataclass(frozen=True)
+class Reading:
+    """A value with its acquisition timestamp (Power API get semantics)."""
+
+    value: float
+    timestamp: float
+
+
+class PwrObject:
+    """A node in the Power API object hierarchy."""
+
+    def __init__(self, name: str, obj_type: str, clock: Callable[[], float] = lambda: 0.0):
+        self.name = name
+        self.obj_type = obj_type
+        self.children: list[PwrObject] = []
+        self._clock = clock
+
+    def add_child(self, child: "PwrObject") -> "PwrObject":
+        """Attach a child object; returns it for chaining."""
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["PwrObject"]:
+        """Depth-first traversal of the hierarchy."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def supported_attributes(self) -> set[Attribute]:
+        """Attributes this object can get/set."""
+        return set()
+
+    def get(self, attr: Attribute) -> Reading:
+        """Read an attribute (aggregates over children by default)."""
+        if attr in (Attribute.POWER, Attribute.ENERGY):
+            total = sum(c.get(attr).value for c in self.children)
+            return Reading(total, self._clock())
+        raise AttributeError(f"{self.obj_type} {self.name!r} does not support {attr.name}")
+
+    def set(self, attr: Attribute, value: float) -> None:
+        """Write an attribute (fan out to children by default)."""
+        if attr is Attribute.POWER_LIMIT_MAX and self.children:
+            share = value / len(self.children)
+            for c in self.children:
+                c.set(attr, share)
+            return
+        raise AttributeError(f"{self.obj_type} {self.name!r} does not support setting {attr.name}")
+
+
+class NodeObject(PwrObject):
+    """A Power API node object bound to a ComputeNode model.
+
+    ``ENERGY`` integrates power over wall-clock via the supplied clock:
+    each ``get(ENERGY)`` advances the accumulator by
+    ``power * (now - last_read)`` — the counter semantics of RAPL-style
+    energy registers.
+    """
+
+    def __init__(self, node: ComputeNode, clock: Callable[[], float] = lambda: 0.0):
+        super().__init__(f"node{node.node_id}", "PWR_OBJ_NODE", clock)
+        self.node = node
+        self._energy_j = 0.0
+        self._last_read = clock()
+
+    def supported_attributes(self) -> set[Attribute]:
+        return {Attribute.POWER, Attribute.ENERGY, Attribute.POWER_LIMIT_MAX, Attribute.FREQ}
+
+    def _advance_energy(self) -> None:
+        now = self._clock()
+        dt = now - self._last_read
+        if dt > 0:
+            self._energy_j += self.node.power_w() * dt
+            self._last_read = now
+
+    def get(self, attr: Attribute) -> Reading:
+        now = self._clock()
+        if attr is Attribute.POWER:
+            return Reading(self.node.power_w(), now)
+        if attr is Attribute.ENERGY:
+            self._advance_energy()
+            return Reading(self._energy_j, now)
+        if attr is Attribute.POWER_LIMIT_MAX:
+            cap = self.node.power_cap_w
+            return Reading(cap if cap is not None else float("inf"), now)
+        if attr is Attribute.FREQ:
+            return Reading(self.node.cpus[0].frequency_hz, now)
+        raise AttributeError(f"node does not support {attr.name}")
+
+    def set(self, attr: Attribute, value: float) -> None:
+        if attr is Attribute.POWER_LIMIT_MAX:
+            self._advance_energy()  # account up to the actuation instant
+            self.node.apply_power_cap(value)
+            return
+        if attr is Attribute.FREQ:
+            for cpu in self.node.cpus:
+                cpu.set_frequency(value)
+            return
+        raise AttributeError(f"node does not support setting {attr.name}")
+
+
+class PlatformObject(PwrObject):
+    """The root object: the whole D.A.V.I.D.E. platform."""
+
+    def __init__(self, clock: Callable[[], float] = lambda: 0.0):
+        super().__init__("davide", "PWR_OBJ_PLATFORM", clock)
+
+    def supported_attributes(self) -> set[Attribute]:
+        return {Attribute.POWER, Attribute.ENERGY, Attribute.POWER_LIMIT_MAX}
+
+    def find(self, name: str) -> PwrObject:
+        """Look an object up by name anywhere in the hierarchy."""
+        for obj in self.walk():
+            if obj.name == name:
+                return obj
+        raise KeyError(f"no Power API object named {name!r}")
+
+
+def make_platform(cluster: Cluster, clock: Callable[[], float] = lambda: 0.0) -> PlatformObject:
+    """Build the platform -> cabinet -> node hierarchy for a cluster."""
+    platform = PlatformObject(clock)
+    for rack in cluster.racks:
+        cabinet = platform.add_child(PwrObject(f"cabinet{rack.rack_id}", "PWR_OBJ_CABINET", clock))
+        for node in rack.nodes:
+            cabinet.add_child(NodeObject(node, clock))
+    return platform

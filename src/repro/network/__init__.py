@@ -1,0 +1,33 @@
+"""InfiniBand fabric: fat-tree topology, routing analysis, collective models."""
+
+from .collectives import EDR_DUAL_RAIL, CommModel
+from .fattree import DualRailFabric, FatTree
+from .flows import (
+    FlowAllocation,
+    allocate_fat_tree_flows,
+    completion_time_s,
+    max_min_fair,
+)
+from .routing import (
+    RouteAnalysis,
+    analyze_traffic,
+    dmodk_spine,
+    permutation_traffic,
+    uniform_traffic,
+)
+
+__all__ = [
+    "CommModel",
+    "DualRailFabric",
+    "EDR_DUAL_RAIL",
+    "FatTree",
+    "FlowAllocation",
+    "RouteAnalysis",
+    "allocate_fat_tree_flows",
+    "completion_time_s",
+    "max_min_fair",
+    "analyze_traffic",
+    "dmodk_spine",
+    "permutation_traffic",
+    "uniform_traffic",
+]

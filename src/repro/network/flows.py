@@ -1,0 +1,159 @@
+"""Flow-level bandwidth allocation: progressive-filling max-min fairness.
+
+The routing layer (:mod:`repro.network.routing`) reports static link
+*loads*; real InfiniBand congestion control shares constrained links
+among competing flows.  This module computes the realized per-flow
+throughputs under **max-min fairness** (the standard fluid model for
+credit-based link-level flow control): rates grow uniformly until a link
+saturates, flows through saturated links freeze, repeat.
+
+Used to answer the questions E11 leaves open: what does each flow
+*actually get* on an oversubscribed tree, and how long does a transfer
+pattern take to drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fattree import FatTree
+from .routing import dmodk_spine
+
+__all__ = ["FlowAllocation", "max_min_fair", "allocate_fat_tree_flows", "completion_time_s"]
+
+
+@dataclass(frozen=True)
+class FlowAllocation:
+    """Resolved per-flow rates for one traffic pattern."""
+
+    rates_Bps: np.ndarray            # per flow, aligned with the input order
+    bottleneck_links: tuple          # links that saturated
+    iterations: int
+
+    @property
+    def total_throughput_Bps(self) -> float:
+        """Aggregate accepted rate."""
+        return float(self.rates_Bps.sum())
+
+    @property
+    def min_rate_Bps(self) -> float:
+        """The worst flow's rate (the fairness floor)."""
+        return float(self.rates_Bps.min()) if self.rates_Bps.size else 0.0
+
+
+def max_min_fair(
+    flow_links: list[list],
+    link_capacity_Bps: dict,
+    demands_Bps: list[float] | None = None,
+) -> FlowAllocation:
+    """Progressive filling over arbitrary flow->links incidence.
+
+    ``flow_links[i]`` lists the links flow *i* traverses;
+    ``link_capacity_Bps`` maps each link to its capacity; optional
+    ``demands_Bps`` cap each flow's rate (default: unbounded).
+    """
+    n = len(flow_links)
+    if n == 0:
+        return FlowAllocation(rates_Bps=np.array([]), bottleneck_links=(), iterations=0)
+    for links in flow_links:
+        for link in links:
+            if link not in link_capacity_Bps:
+                raise KeyError(f"flow traverses unknown link {link!r}")
+            if link_capacity_Bps[link] <= 0:
+                raise ValueError(f"link {link!r} has non-positive capacity")
+    demands = (
+        np.full(n, np.inf) if demands_Bps is None else np.asarray(demands_Bps, dtype=float)
+    )
+    if demands.shape != (n,):
+        raise ValueError("demands must align with flows")
+    if np.any(demands <= 0):
+        raise ValueError("demands must be positive")
+    rates = np.zeros(n)
+    frozen = np.zeros(n, dtype=bool)
+    remaining = {link: float(cap) for link, cap in link_capacity_Bps.items()}
+    bottlenecks: list = []
+    iterations = 0
+    while not frozen.all():
+        iterations += 1
+        # Active flow count per link.
+        active_count: dict = {}
+        for i in range(n):
+            if frozen[i]:
+                continue
+            for link in set(flow_links[i]):
+                active_count[link] = active_count.get(link, 0) + 1
+        # The uniform increment is limited by the tightest link share and
+        # by the smallest remaining demand among active flows.
+        increments = [
+            remaining[link] / count for link, count in active_count.items() if count > 0
+        ]
+        demand_gaps = demands[~frozen] - rates[~frozen]
+        delta = min(min(increments, default=np.inf), float(demand_gaps.min()))
+        if not np.isfinite(delta) or delta < 0:
+            raise RuntimeError("progressive filling failed to converge")
+        # Apply the increment.
+        for i in range(n):
+            if frozen[i]:
+                continue
+            rates[i] += delta
+            for link in set(flow_links[i]):
+                remaining[link] -= delta
+        # Freeze flows at their demand or on saturated links.
+        saturated = {link for link, cap in remaining.items() if cap <= 1e-6}
+        for i in range(n):
+            if frozen[i]:
+                continue
+            if rates[i] >= demands[i] - 1e-9 or any(l in saturated for l in flow_links[i]):
+                frozen[i] = True
+        bottlenecks.extend(sorted(saturated - set(bottlenecks)))
+        if iterations > n + len(link_capacity_Bps) + 2:
+            raise RuntimeError("progressive filling exceeded its iteration bound")
+    return FlowAllocation(
+        rates_Bps=rates, bottleneck_links=tuple(bottlenecks), iterations=iterations
+    )
+
+
+def allocate_fat_tree_flows(
+    tree: FatTree, flows: list[tuple[int, int, float]]
+) -> FlowAllocation:
+    """Max-min allocation of (src, dst, demand) flows under D-mod-k routing."""
+    capacities: dict = {}
+    flow_links: list[list] = []
+    demands: list[float] = []
+    for src, dst, demand in flows:
+        if demand <= 0:
+            raise ValueError("flow demand must be positive")
+        links: list = []
+        if src != dst:
+            src_leaf, dst_leaf = tree.leaf_of(src), tree.leaf_of(dst)
+            links.append((tree._host(src), tree._leaf(src_leaf)))
+            links.append((tree._leaf(dst_leaf), tree._host(dst)))
+            if src_leaf != dst_leaf:
+                spine = dmodk_spine(dst, tree.shape.n_spines)
+                links.append((tree._leaf(src_leaf), tree._spine(spine)))
+                links.append((tree._spine(spine), tree._leaf(dst_leaf)))
+        for link in links:
+            capacities.setdefault(link, tree.link.bandwidth_Bps)
+        flow_links.append(links)
+        demands.append(demand)
+    # Self-flows (no links) finish immediately at their demand.
+    allocation = max_min_fair(flow_links, capacities, demands)
+    return allocation
+
+
+def completion_time_s(transfer_bytes: list[float], allocation: FlowAllocation) -> float:
+    """Drain time for fixed-size transfers at the allocated rates.
+
+    A lower bound (rates are held constant rather than re-allocated as
+    flows finish) — adequate for comparing patterns and topologies.
+    """
+    sizes = np.asarray(transfer_bytes, dtype=float)
+    if sizes.shape != allocation.rates_Bps.shape:
+        raise ValueError("transfer sizes must align with flows")
+    if np.any(sizes < 0):
+        raise ValueError("transfer sizes must be non-negative")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        times = np.where(sizes > 0, sizes / allocation.rates_Bps, 0.0)
+    return float(np.max(times)) if times.size else 0.0

@@ -1,0 +1,104 @@
+"""Sensor-chain calibration: the procedure behind the EG's accuracy.
+
+Hackenberg et al. [25] (the paper's §V-C reference) emphasise "the
+accuracy of the power sensors and their acquisition chain".  A shunt
+channel leaves the factory with gain and offset errors; commissioning
+calibrates them out against a reference meter: drive the rail through a
+ladder of known loads, read the chain, and fit the affine correction by
+least squares.
+
+:func:`calibrate` runs that procedure against any measurement chain and
+returns a :class:`Calibration` whose ``apply``/``correct`` remove the
+systematic error (leaving only noise and quantization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import PowerTrace
+
+__all__ = ["Calibration", "calibrate", "verification_error"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """An affine correction: true ~ gain * reading + offset."""
+
+    gain: float
+    offset_w: float
+    residual_rms_w: float          # fit residual on the calibration points
+    n_points: int
+
+    def correct(self, readings_w: np.ndarray) -> np.ndarray:
+        """Apply the correction to raw chain readings."""
+        return np.asarray(readings_w, dtype=float) * self.gain + self.offset_w
+
+    def correct_trace(self, trace: PowerTrace) -> PowerTrace:
+        """Apply the correction to a whole trace."""
+        return trace.scaled(self.gain, self.offset_w)
+
+
+def calibrate(
+    measure_fn,
+    reference_loads_w: list[float] | np.ndarray,
+    readings_per_point: int = 1,
+) -> Calibration:
+    """Fit the affine correction for a measurement chain.
+
+    ``measure_fn(true_watts)`` returns the chain's reading for a known
+    load (as watts through the nominal transfer).  At least two distinct
+    load points are required; more points and repeats average the noise
+    down.
+    """
+    loads = np.asarray(reference_loads_w, dtype=float)
+    if loads.size < 2 or np.unique(loads).size < 2:
+        raise ValueError("need at least two distinct reference loads")
+    if np.any(loads < 0):
+        raise ValueError("reference loads must be non-negative")
+    if readings_per_point < 1:
+        raise ValueError("readings per point must be >= 1")
+    xs, ys = [], []
+    for load in loads:
+        for _ in range(readings_per_point):
+            xs.append(float(measure_fn(float(load))))
+            ys.append(float(load))
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    # Least squares y = gain*x + offset.
+    A = np.vstack([x, np.ones_like(x)]).T
+    (gain, offset), res, *_ = np.linalg.lstsq(A, y, rcond=None)
+    fitted = gain * x + offset
+    return Calibration(
+        gain=float(gain),
+        offset_w=float(offset),
+        residual_rms_w=float(np.sqrt(np.mean((fitted - y) ** 2))),
+        n_points=int(x.size),
+    )
+
+
+def verification_error(
+    measure_fn,
+    calibration: Calibration,
+    check_loads_w: list[float] | np.ndarray,
+) -> dict[str, float]:
+    """Verify a calibration on fresh load points.
+
+    Returns max/RMS absolute error and the worst relative error — the
+    acceptance figures a commissioning report records.
+    """
+    loads = np.asarray(check_loads_w, dtype=float)
+    if loads.size == 0:
+        raise ValueError("need at least one check load")
+    raw = np.array([measure_fn(float(l)) for l in loads])
+    corrected = calibration.correct(raw)
+    err = corrected - loads
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(loads > 0, np.abs(err) / loads, 0.0)
+    return {
+        "max_abs_error_w": float(np.abs(err).max()),
+        "rms_error_w": float(np.sqrt(np.mean(err**2))),
+        "worst_relative_error": float(rel.max()),
+    }

@@ -1,0 +1,25 @@
+"""Job power prediction: features, regressors, evaluation."""
+
+from .evaluate import (
+    PredictionScore,
+    chronological_split,
+    evaluate_model,
+    score_predictions,
+)
+from .features import FeatureEncoder
+from .models import JobPowerModel, KnnRegressor, PerKeyMeanPredictor, RidgeRegressor
+from .online import OnlineJobPowerModel, OnlineRidge
+
+__all__ = [
+    "FeatureEncoder",
+    "JobPowerModel",
+    "KnnRegressor",
+    "OnlineJobPowerModel",
+    "OnlineRidge",
+    "PerKeyMeanPredictor",
+    "PredictionScore",
+    "RidgeRegressor",
+    "chronological_split",
+    "evaluate_model",
+    "score_predictions",
+]

@@ -1,0 +1,77 @@
+"""Predictor evaluation: error metrics and chronological validation.
+
+Experiment E08 reports the accuracy of each predictor the way the cited
+studies do: train on the past, test on the future (a chronological split,
+never a random shuffle — job streams are non-stationary), and score with
+MAPE / RMSE / underprediction rate (underpredictions are the dangerous
+direction for a power-capped scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..scheduler.job import Job
+
+__all__ = ["PredictionScore", "score_predictions", "chronological_split", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Error summary of one predictor on one test set."""
+
+    name: str
+    mape: float                 # mean absolute percentage error
+    rmse_w: float               # on per-node power
+    bias_w: float               # mean signed error (positive = over-predicts)
+    underprediction_rate: float # fraction of jobs predicted below truth
+    n_test: int
+
+
+def score_predictions(name: str, predicted_w: np.ndarray, true_w: np.ndarray) -> PredictionScore:
+    """Score aligned prediction/truth arrays (per-node watts)."""
+    p = np.asarray(predicted_w, dtype=float)
+    t = np.asarray(true_w, dtype=float)
+    if p.shape != t.shape or p.ndim != 1:
+        raise ValueError("predictions and truth must be 1-D and aligned")
+    if p.size == 0:
+        raise ValueError("empty test set")
+    if np.any(t <= 0):
+        raise ValueError("true power must be positive")
+    err = p - t
+    return PredictionScore(
+        name=name,
+        mape=float(np.mean(np.abs(err) / t)),
+        rmse_w=float(np.sqrt(np.mean(err**2))),
+        bias_w=float(np.mean(err)),
+        underprediction_rate=float(np.mean(p < t)),
+        n_test=p.size,
+    )
+
+
+def chronological_split(jobs: list[Job], train_fraction: float = 0.6) -> tuple[list[Job], list[Job]]:
+    """Split a job stream by submission time: past -> train, future -> test."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train fraction must lie in (0, 1)")
+    if len(jobs) < 4:
+        raise ValueError("need at least 4 jobs to split")
+    ordered = sorted(jobs, key=lambda j: j.submit_time_s)
+    cut = max(int(len(ordered) * train_fraction), 1)
+    cut = min(cut, len(ordered) - 1)
+    return ordered[:cut], ordered[cut:]
+
+
+def evaluate_model(
+    name: str,
+    predict_per_node: Callable[[Job], float],
+    test_jobs: list[Job],
+) -> PredictionScore:
+    """Run a per-node predictor over a test set and score it."""
+    if not test_jobs:
+        raise ValueError("empty test set")
+    pred = np.array([predict_per_node(j) for j in test_jobs])
+    true = np.array([j.true_power_per_node_w for j in test_jobs])
+    return score_predictions(name, pred, true)

@@ -1,0 +1,115 @@
+"""Online predictor training: recursive least squares with forgetting.
+
+Fig. 4 shows the management node training job-to-power predictors from
+the stream of finished jobs — a *continuous* process, not a one-shot
+fit.  :class:`OnlineRidge` implements recursive least squares (RLS) with
+an exponential forgetting factor: each completed job updates the model
+in O(d^2) without refitting the history, and the forgetting factor lets
+the model track non-stationary behaviour (new users, retuned codes,
+seasonal input changes) that a frozen batch fit would mispredict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scheduler.job import Job, JobRecord
+from .features import FeatureEncoder
+
+__all__ = ["OnlineRidge", "OnlineJobPowerModel"]
+
+
+class OnlineRidge:
+    """Recursive least squares on standardized-on-the-fly features.
+
+    State: weight vector w and inverse covariance P, updated per sample
+    with forgetting factor ``lam`` in (0, 1] (1 = ordinary RLS, <1 decays
+    old evidence with time constant ~1/(1-lam) samples).
+    """
+
+    def __init__(self, n_features: int, lam: float = 0.995, delta: float = 1e3):
+        if n_features < 1:
+            raise ValueError("need at least one feature")
+        if not 0.0 < lam <= 1.0:
+            raise ValueError("forgetting factor must lie in (0, 1]")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.n_features = int(n_features)
+        self.lam = float(lam)
+        # +1 for the intercept column.
+        d = self.n_features + 1
+        self.w = np.zeros(d)
+        self.P = np.eye(d) * delta
+        self.samples_seen = 0
+
+    def _phi(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_features,):
+            raise ValueError(f"expected {self.n_features} features, got {x.shape}")
+        return np.concatenate([x, [1.0]])
+
+    def update(self, x: np.ndarray, y: float) -> float:
+        """Fold one (features, target) sample in; returns the prior error."""
+        phi = self._phi(x)
+        y_hat = float(self.w @ phi)
+        error = float(y) - y_hat
+        Pphi = self.P @ phi
+        gain = Pphi / (self.lam + float(phi @ Pphi))
+        self.w = self.w + gain * error
+        self.P = (self.P - np.outer(gain, Pphi)) / self.lam
+        # Symmetrize against numerical drift.
+        self.P = (self.P + self.P.T) / 2.0
+        self.samples_seen += 1
+        return error
+
+    def predict(self, x: np.ndarray) -> float:
+        """Point prediction for one feature vector."""
+        return float(self.w @ self._phi(x))
+
+
+class OnlineJobPowerModel:
+    """The continuously-trained per-node power predictor of Fig. 4.
+
+    Wire :meth:`observe` to the scheduler's ``on_job_end`` hook (or feed
+    it accounting bills); call the instance as the power-aware
+    dispatcher's predictor.  Before ``min_samples`` jobs have been seen
+    the model falls back to a conservative prior.
+    """
+
+    def __init__(
+        self,
+        encoder: FeatureEncoder,
+        lam: float = 0.995,
+        prior_per_node_w: float = 1800.0,
+        min_samples: int = 10,
+    ):
+        if prior_per_node_w <= 0:
+            raise ValueError("prior must be positive")
+        if min_samples < 1:
+            raise ValueError("min samples must be >= 1")
+        self.encoder = encoder
+        self.rls = OnlineRidge(encoder.n_features, lam=lam)
+        self.prior_per_node_w = float(prior_per_node_w)
+        self.min_samples = int(min_samples)
+
+    def observe(self, record: JobRecord) -> float:
+        """Learn from one finished job; returns the pre-update error (W)."""
+        if record.end_time_s is None or record.start_time_s is None:
+            raise ValueError("record has not finished")
+        duration = record.actual_runtime_s
+        if duration <= 0 or not record.nodes:
+            return 0.0
+        measured_per_node = record.energy_j / duration / len(record.nodes)
+        x = self.encoder.encode(record.job)
+        return self.rls.update(x, measured_per_node)
+
+    def predict_per_node(self, job: Job) -> float:
+        """Per-node prediction, clipped to the physical range."""
+        if self.rls.samples_seen < self.min_samples:
+            return self.prior_per_node_w
+        raw = self.rls.predict(self.encoder.encode(job))
+        return float(np.clip(raw, 300.0, 2200.0))
+
+    def __call__(self, job: Job) -> float:
+        """Total-power predictor interface for the dispatcher."""
+        return job.n_nodes * self.predict_per_node(job)

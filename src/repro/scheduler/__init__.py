@@ -1,0 +1,45 @@
+"""Resource manager: jobs, workload generation, scheduling policies, simulator."""
+
+from .job import Job, JobRecord, JobState
+from .policies import (
+    EasyBackfillScheduler,
+    FifoScheduler,
+    SchedulerContext,
+    SchedulingPolicy,
+)
+from .fairshare import FairShareState, MultifactorPriority, PriorityScheduler
+from .plugins import LiveNodePower, SchedulerMonitorPlugin
+from .power_aware import PowerAwareScheduler, request_based_predictor
+from .simulate import ClusterSimulator, SimulationResult
+from .thermal_aware import (
+    TimeVaryingBudgetScheduler,
+    day_night_budget,
+    heat_wave_budget,
+)
+from .workload import DEFAULT_APP_MIX, AppProfile, WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "AppProfile",
+    "ClusterSimulator",
+    "DEFAULT_APP_MIX",
+    "EasyBackfillScheduler",
+    "FairShareState",
+    "FifoScheduler",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "LiveNodePower",
+    "MultifactorPriority",
+    "PriorityScheduler",
+    "PowerAwareScheduler",
+    "SchedulerContext",
+    "SchedulerMonitorPlugin",
+    "SchedulingPolicy",
+    "SimulationResult",
+    "TimeVaryingBudgetScheduler",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "day_night_budget",
+    "heat_wave_budget",
+    "request_based_predictor",
+]

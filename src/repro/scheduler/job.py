@@ -1,0 +1,119 @@
+"""Job model for the cluster resource manager.
+
+A job is what a user submits: a node count, a requested walltime (the
+user's — usually generous — estimate), and submission-time metadata (user,
+application, inputs).  The *true* runtime and per-node power draw are
+properties of the execution the scheduler cannot see in advance — the
+whole point of the paper's job-power predictors (Section III-A2, refs
+[17][18]) is to estimate the power from the submission-time metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["JobState", "Job", "JobRecord"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job in the resource manager."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class Job:
+    """An immutable job submission plus its hidden ground truth.
+
+    Fields above the line are visible to the scheduler at submission;
+    ``true_runtime_s`` and ``true_power_per_node_w`` are ground truth used
+    by the simulator and revealed only through execution.
+    """
+
+    job_id: int
+    user: str
+    app: str                       # application tag ('qe', 'nemo', ...)
+    n_nodes: int
+    walltime_req_s: float          # user's requested walltime
+    submit_time_s: float
+    threads_per_rank: int = 1
+    uses_gpus: bool = True
+    # -- hidden ground truth ------------------------------------------------
+    true_runtime_s: float = 0.0
+    true_power_per_node_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("job needs at least one node")
+        if self.walltime_req_s <= 0:
+            raise ValueError("requested walltime must be positive")
+        if self.true_runtime_s < 0 or self.true_power_per_node_w < 0:
+            raise ValueError("ground truth must be non-negative")
+        if self.submit_time_s < 0:
+            raise ValueError("submit time must be non-negative")
+
+    @property
+    def true_power_w(self) -> float:
+        """Total true power across the allocation."""
+        return self.n_nodes * self.true_power_per_node_w
+
+    @property
+    def node_seconds_requested(self) -> float:
+        """Requested area in the schedule (nodes x walltime)."""
+        return self.n_nodes * self.walltime_req_s
+
+    def with_runtime_stretch(self, factor: float) -> "Job":
+        """A copy whose true runtime is stretched (power-cap slowdown)."""
+        if factor < 1.0:
+            raise ValueError("stretch factor must be >= 1")
+        return replace(self, true_runtime_s=self.true_runtime_s * factor)
+
+
+@dataclass
+class JobRecord:
+    """Mutable execution record the simulator maintains per job."""
+
+    job: Job
+    state: JobState = JobState.PENDING
+    start_time_s: Optional[float] = None
+    end_time_s: Optional[float] = None
+    nodes: tuple[int, ...] = ()
+    energy_j: float = 0.0
+    #: Power prediction attached at scheduling time (None = no predictor).
+    predicted_power_w: Optional[float] = None
+    #: Accumulated slowdown from reactive capping (1.0 = never capped).
+    stretch: float = 1.0
+
+    @property
+    def wait_time_s(self) -> float:
+        """Queue wait (start - submit); requires the job to have started."""
+        if self.start_time_s is None:
+            raise ValueError(f"job {self.job.job_id} has not started")
+        return self.start_time_s - self.job.submit_time_s
+
+    @property
+    def turnaround_s(self) -> float:
+        """Submit-to-completion time."""
+        if self.end_time_s is None:
+            raise ValueError(f"job {self.job.job_id} has not finished")
+        return self.end_time_s - self.job.submit_time_s
+
+    @property
+    def actual_runtime_s(self) -> float:
+        """Start-to-end time (includes cap-induced stretch)."""
+        if self.start_time_s is None or self.end_time_s is None:
+            raise ValueError(f"job {self.job.job_id} has not finished")
+        return self.end_time_s - self.start_time_s
+
+    def bounded_slowdown(self, threshold_s: float = 10.0) -> float:
+        """The classic bounded-slowdown QoS metric.
+
+        max(1, (wait + run) / max(run, threshold)) — the denominator bound
+        keeps tiny jobs from exploding the metric.
+        """
+        run = self.actual_runtime_s
+        return max(1.0, (self.wait_time_s + run) / max(run, threshold_s))

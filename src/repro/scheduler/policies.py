@@ -1,0 +1,126 @@
+"""Baseline scheduling policies: FIFO and EASY backfill.
+
+These are the policies stock SLURM ships with; the paper's contribution
+(:mod:`repro.scheduler.power_aware`) layers a power envelope on top of
+them.  A policy is a pure decision function: given the pending queue, the
+free node set, the current time and a view of the running jobs, return
+which pending jobs to start now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from .job import JobRecord
+
+__all__ = ["SchedulerContext", "SchedulingPolicy", "FifoScheduler", "EasyBackfillScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """What a policy may inspect when deciding."""
+
+    now_s: float
+    free_nodes: tuple[int, ...]
+    running: tuple[JobRecord, ...]
+    total_nodes: int
+    #: Current total system power (watts) as the monitoring stack reports it.
+    system_power_w: float = 0.0
+    #: Active system power budget (None = uncapped).
+    power_budget_w: float | None = None
+
+
+class SchedulingPolicy(Protocol):
+    """Interface every scheduler implements."""
+
+    name: str
+
+    def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
+        """Pending records (subset of ``queue``) to start right now."""
+        ...
+
+
+class FifoScheduler:
+    """Strict first-come-first-served: the head blocks everyone behind it."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
+        """Start queue-order jobs until one does not fit, then stop."""
+        started: list[JobRecord] = []
+        free = len(ctx.free_nodes)
+        for rec in queue:
+            if rec.job.n_nodes <= free:
+                started.append(rec)
+                free -= rec.job.n_nodes
+            else:
+                break
+        return started
+
+
+class EasyBackfillScheduler:
+    """EASY backfill: FIFO head reservation + conservative hole-filling.
+
+    The head job that cannot start gets a *reservation* at the earliest
+    time enough nodes free up (computed from the running jobs' requested
+    walltimes).  Any later job may jump the queue iff it fits in the free
+    nodes now AND (it finishes — by its requested walltime — before the
+    reservation, OR it does not touch the reserved nodes).  We use the
+    node-count form: a backfill candidate must leave enough nodes for the
+    head job at reservation time.
+    """
+
+    name = "easy-backfill"
+
+    def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
+        """FIFO starts, then backfill behind the head reservation."""
+        started: list[JobRecord] = []
+        free = len(ctx.free_nodes)
+        queue = list(queue)
+        # Phase 1: plain FIFO from the head.
+        while queue and queue[0].job.n_nodes <= free:
+            rec = queue.pop(0)
+            started.append(rec)
+            free -= rec.job.n_nodes
+        if not queue:
+            return started
+        head = queue[0]
+        # Phase 2: compute the head job's reservation from running jobs'
+        # *requested* end times (the scheduler cannot see true runtimes).
+        releases = sorted(
+            (self._requested_end(rec, ctx.now_s), rec.job.n_nodes)
+            for rec in list(ctx.running) + started
+        )
+        avail = free
+        reservation_time = ctx.now_s
+        nodes_free_at_reservation = avail
+        for t_end, n in releases:
+            avail += n
+            if avail >= head.job.n_nodes:
+                reservation_time = t_end
+                nodes_free_at_reservation = avail
+                break
+        else:
+            # Head can never fit (bigger than the machine) — nothing to do.
+            return started
+        # Phase 3: backfill the rest of the queue.
+        shadow_free = free
+        spare_at_reservation = nodes_free_at_reservation - head.job.n_nodes
+        for rec in queue[1:]:
+            if rec.job.n_nodes > shadow_free:
+                continue
+            finishes_before = ctx.now_s + rec.job.walltime_req_s <= reservation_time
+            fits_spare = rec.job.n_nodes <= spare_at_reservation
+            if finishes_before or fits_spare:
+                started.append(rec)
+                shadow_free -= rec.job.n_nodes
+                if not finishes_before:
+                    spare_at_reservation -= rec.job.n_nodes
+        return started
+
+    @staticmethod
+    def _requested_end(rec: JobRecord, now_s: float) -> float:
+        # Records selected this round have no start time yet: they start now.
+        start = rec.start_time_s if rec.start_time_s is not None else now_s
+        return start + rec.job.walltime_req_s

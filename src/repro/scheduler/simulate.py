@@ -1,0 +1,266 @@
+"""Event-driven cluster simulator for scheduling/capping experiments.
+
+Drives any :class:`SchedulingPolicy` over a job stream on an N-node
+cluster, with an optional *reactive* system power cap layered on top
+(experiment E07's three-way comparison: reactive-only, proactive-only,
+combined).
+
+Power/performance model inside the simulation:
+
+* an idle node draws ``idle_node_power_w``;
+* a running job draws its true per-node power across its allocation;
+* when the reactive cap trims the system, every running job's *dynamic*
+  power (above idle) is scaled by a common ratio rho, and its execution
+  speed follows ``rho ** speed_exponent`` — the sublinear
+  power-to-performance relation of DVFS/RAPL actuation (frequency falls
+  slower than power because of the V^2 term); the default exponent 0.75
+  matches the node model in :mod:`repro.hardware`.
+
+Jobs progress in *work seconds*: a job finishes when its accumulated
+``speed * dt`` reaches its true runtime, so capping stretches wall-clock
+exactly as the real machine's throttling does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..power.trace import PowerTrace
+from .job import Job, JobRecord, JobState
+from .policies import SchedulerContext, SchedulingPolicy
+
+__all__ = ["SimulationResult", "ClusterSimulator"]
+
+
+@dataclass
+class _Running:
+    record: JobRecord
+    remaining_work_s: float
+    speed: float = 1.0
+    granted_power_w: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything the metrics layer needs from one simulation run."""
+
+    records: tuple[JobRecord, ...]
+    power_trace: PowerTrace          # step-function system power
+    makespan_s: float
+    total_energy_j: float
+    cap_w: Optional[float]
+    #: Seconds during which demand exceeded the cap (pre-trim).
+    overdemand_s: float
+    #: Node-seconds actually used / node-seconds available over makespan.
+    utilization: float
+
+    # -- QoS metrics ------------------------------------------------------------
+    def mean_wait_s(self) -> float:
+        """Average queue wait."""
+        return float(np.mean([r.wait_time_s for r in self.records]))
+
+    def p95_wait_s(self) -> float:
+        """95th-percentile queue wait."""
+        return float(np.percentile([r.wait_time_s for r in self.records], 95))
+
+    def mean_bounded_slowdown(self) -> float:
+        """Average bounded slowdown (the paper's QoS yardstick)."""
+        return float(np.mean([r.bounded_slowdown() for r in self.records]))
+
+    def mean_stretch(self) -> float:
+        """Average cap-induced runtime stretch (1.0 = never trimmed)."""
+        return float(np.mean([r.stretch for r in self.records]))
+
+    def mean_power_w(self) -> float:
+        """Time-averaged system power."""
+        return self.power_trace.mean_power_w()
+
+    def peak_power_w(self) -> float:
+        """Peak system power."""
+        return self.power_trace.peak_power_w()
+
+    def cap_violation_fraction(self) -> float:
+        """Fraction of the makespan the (post-trim) power exceeded the cap."""
+        if self.cap_w is None or len(self.power_trace) < 2:
+            return 0.0
+        t, p = self.power_trace.times_s, self.power_trace.power_w
+        dt = np.diff(t)
+        over = p[:-1] > self.cap_w * (1 + 1e-9)
+        return float(dt[over].sum() / max(self.makespan_s, 1e-12))
+
+
+class ClusterSimulator:
+    """Discrete-event simulation of one policy over one job stream."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        policy: SchedulingPolicy,
+        idle_node_power_w: float = 300.0,
+        reactive_cap_w: Optional[float] = None,
+        speed_exponent: float = 0.75,
+        min_speed: float = 0.3,
+        on_job_start=None,
+        on_job_end=None,
+    ):
+        """``on_job_start(record)`` / ``on_job_end(record)`` fire at the
+        corresponding lifecycle instants — the hook the Fig.-4 scheduler
+        monitoring plugin attaches to."""
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if reactive_cap_w is not None and reactive_cap_w <= 0:
+            raise ValueError("reactive cap must be positive")
+        if not 0 < min_speed <= 1:
+            raise ValueError("min speed must lie in (0, 1]")
+        self.n_nodes = n_nodes
+        self.policy = policy
+        self.idle_node_power_w = float(idle_node_power_w)
+        self.reactive_cap_w = reactive_cap_w
+        self.speed_exponent = float(speed_exponent)
+        self.min_speed = float(min_speed)
+        self.on_job_start = on_job_start
+        self.on_job_end = on_job_end
+
+    # -- power resolution ----------------------------------------------------------
+    def _resolve_power(self, running: list[_Running]) -> tuple[float, float]:
+        """Apply the reactive trim; returns (system power, raw demand).
+
+        Mutates each running job's granted power and speed.
+        """
+        busy_nodes = sum(r.record.job.n_nodes for r in running)
+        idle_power = (self.n_nodes - busy_nodes) * self.idle_node_power_w
+        demand = idle_power
+        for r in running:
+            r.granted_power_w = r.record.job.true_power_w
+            r.speed = 1.0
+            demand += r.granted_power_w
+        if self.reactive_cap_w is None or demand <= self.reactive_cap_w:
+            return demand, demand
+        # Trim: scale every job's dynamic share by a common rho.
+        floor = idle_power + sum(r.record.job.n_nodes * self.idle_node_power_w for r in running)
+        dynamic = demand - floor
+        if dynamic <= 0:
+            return demand, demand  # nothing controllable
+        rho = max((self.reactive_cap_w - floor) / dynamic, 0.0)
+        # Speed floor limits how hard the hardware can throttle.
+        rho_min = self.min_speed ** (1.0 / self.speed_exponent)
+        rho = float(np.clip(rho, rho_min, 1.0))
+        system = floor
+        for r in running:
+            job_floor = r.record.job.n_nodes * self.idle_node_power_w
+            job_dynamic = r.record.job.true_power_w - job_floor
+            r.granted_power_w = job_floor + max(job_dynamic, 0.0) * rho
+            r.speed = rho**self.speed_exponent
+            system += max(job_dynamic, 0.0) * rho
+        return system, demand
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> SimulationResult:
+        """Simulate the full job stream to completion."""
+        if not jobs:
+            raise ValueError("empty job stream")
+        pending = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+        records = {j.job_id: JobRecord(job=j) for j in pending}
+        queue: list[JobRecord] = []
+        running: list[_Running] = []
+        free_nodes = set(range(self.n_nodes))
+        # Step-function power trace: (t, p) means the system drew p from t
+        # until the next entry's timestamp.
+        trace_t: list[float] = []
+        trace_p: list[float] = []
+        total_energy = 0.0
+        overdemand_s = 0.0
+        busy_node_seconds = 0.0
+        now = 0.0
+        submit_idx = 0
+        n_jobs = len(pending)
+        completed = 0
+
+        def try_start() -> None:
+            nonlocal free_nodes
+            if not queue:
+                return
+            ctx = SchedulerContext(
+                now_s=now,
+                free_nodes=tuple(sorted(free_nodes)),
+                running=tuple(r.record for r in running),
+                total_nodes=self.n_nodes,
+                system_power_w=trace_p[-1] if trace_p else self.n_nodes * self.idle_node_power_w,
+                power_budget_w=self.reactive_cap_w,
+            )
+            for rec in self.policy.select(list(queue), ctx):
+                if rec.job.n_nodes > len(free_nodes):
+                    raise RuntimeError(
+                        f"policy {self.policy.name} started job {rec.job.job_id} "
+                        f"without enough free nodes"
+                    )
+                alloc = tuple(sorted(free_nodes)[: rec.job.n_nodes])
+                free_nodes -= set(alloc)
+                rec.nodes = alloc
+                rec.state = JobState.RUNNING
+                rec.start_time_s = now
+                queue.remove(rec)
+                running.append(_Running(record=rec, remaining_work_s=rec.job.true_runtime_s))
+                if self.on_job_start is not None:
+                    self.on_job_start(rec)
+
+        while completed < n_jobs:
+            system_power, demand = self._resolve_power(running)
+            # Next event: submission or earliest completion.
+            t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else np.inf
+            t_complete = np.inf
+            for r in running:
+                eta = now + r.remaining_work_s / r.speed
+                t_complete = min(t_complete, eta)
+            t_next = min(t_submit, t_complete)
+            if not np.isfinite(t_next):
+                raise RuntimeError("simulation stalled: jobs pending but nothing can run")
+            dt = t_next - now
+            if dt > 0:
+                trace_t.append(now)
+                trace_p.append(system_power)
+                total_energy += system_power * dt
+                if self.reactive_cap_w is not None and demand > self.reactive_cap_w:
+                    overdemand_s += dt
+                busy_node_seconds += dt * sum(r.record.job.n_nodes for r in running)
+                for r in running:
+                    r.remaining_work_s -= dt * r.speed
+                    r.record.energy_j += r.granted_power_w * dt
+                    if r.speed < 1.0:
+                        # Accumulate stretch as elapsed/progress ratio.
+                        r.record.stretch = max(r.record.stretch, 1.0 / r.speed)
+            now = t_next
+            # Completions.
+            finished = [r for r in running if r.remaining_work_s <= 1e-9]
+            for r in finished:
+                running.remove(r)
+                r.record.state = JobState.COMPLETED
+                r.record.end_time_s = now
+                free_nodes |= set(r.record.nodes)
+                completed += 1
+                if self.on_job_end is not None:
+                    self.on_job_end(r.record)
+            # Submissions.
+            while submit_idx < n_jobs and pending[submit_idx].submit_time_s <= now + 1e-12:
+                queue.append(records[pending[submit_idx].job_id])
+                submit_idx += 1
+            try_start()
+
+        makespan = now
+        # Close the step function at the makespan with the final (idle) power.
+        trace_t.append(now)
+        trace_p.append(self.n_nodes * self.idle_node_power_w)
+        trace = PowerTrace(np.array(trace_t), np.array(trace_p))
+        util = busy_node_seconds / (self.n_nodes * makespan) if makespan > 0 else 0.0
+        return SimulationResult(
+            records=tuple(records[j.job_id] for j in pending),
+            power_trace=trace,
+            makespan_s=makespan,
+            total_energy_j=total_energy,
+            cap_w=self.reactive_cap_w,
+            overdemand_s=overdemand_s,
+            utilization=util,
+        )

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel used by every time-domain subsystem."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

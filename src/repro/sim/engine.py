@@ -1,0 +1,384 @@
+"""Discrete-event simulation kernel.
+
+Every time-domain component in this reproduction (the energy gateway's
+sampling loop, the job scheduler's dispatch cycle, the power-capping
+feedback controllers, the thermal integrator) runs on top of this small
+generator-based discrete-event engine.  The design follows the classic
+process-interaction style (SimPy-like): a *process* is a Python generator
+that yields :class:`Event` objects; the engine resumes the generator when
+the yielded event fires.
+
+The kernel is deliberately dependency-free and deterministic: events that
+fire at the same timestamp are processed in FIFO insertion order (a
+monotonically increasing sequence number breaks ties), so simulations are
+exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupter (commonly a reason string or the interrupting object).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event has three observable states: *pending* (created, not yet
+    triggered), *triggered* (scheduled to fire; has a value), and
+    *processed* (callbacks have run).  Processes wait on events by yielding
+    them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state predicates -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (False = carries an error)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event payload (or the exception, for failed events)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so the engine does not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay=self.delay)
+
+
+class _ConditionMixin:
+    """Shared machinery for AllOf / AnyOf composite events."""
+
+    def _attach(self, events: Iterable[Event]) -> list[Event]:
+        evts = list(events)
+        for e in evts:
+            if e.env is not self.env:  # type: ignore[attr-defined]
+                raise SimulationError("cannot mix events from different environments")
+        return evts
+
+
+class AllOf(Event, _ConditionMixin):
+    """Composite event that fires once *all* constituent events have fired.
+
+    The value is a dict mapping each constituent event to its value.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = self._attach(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for e in self._events:
+            if e._processed:
+                self._on_fire(e)
+            else:
+                e.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self._events})
+
+
+class AnyOf(Event, _ConditionMixin):
+    """Composite event that fires as soon as *any* constituent fires."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = self._attach(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for e in self._events:
+            if e._processed:
+                self._on_fire(e)
+                break
+            e.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+            return
+        self.succeed({e: e._value for e in self._events if e._processed and e._ok})
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    Wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process resumes when that event fires, receiving the
+    event's value as the result of the ``yield`` expression (or having the
+    exception thrown in, for failed events).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume at the current simulation time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interruptor = Event(self.env)
+        interruptor.callbacks.append(self._resume_interrupt)
+        interruptor._value = Interrupt(cause)
+        interruptor.succeed(interruptor._value)
+
+    # -- engine plumbing ----------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        self._step(lambda: self._generator.throw(event._value))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            event.defused()
+            self._step(lambda: self._generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target._processed:
+            # Already fired: resume on the next scheduling round.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                target.defused()
+                relay.fail(target._value)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Environment:
+    """The simulation clock plus the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Register a generator as a running process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value  # unhandled failure propagates to the caller
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be: ``None`` (run until no events remain), a number
+        (run up to that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event._processed:
+                return stop_event._value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event._processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            raise SimulationError("event queue drained before `until` event fired")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

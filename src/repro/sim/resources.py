@@ -1,0 +1,198 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three classic primitives, mirroring what the cluster models need:
+
+* :class:`Resource` — counted capacity with FIFO queuing (compute nodes,
+  PCIe lanes, pump slots).
+* :class:`Container` — continuous level with put/get (power budget pools,
+  coolant reservoirs).
+* :class:`Store` — FIFO object store (message queues between agents).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """Pending acquisition of one unit of a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def release(self) -> None:
+        """Give the unit back (or cancel the request if still queued)."""
+        self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource with FIFO granting order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: list[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Units currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Queue a request for one unit; the returned event fires on grant."""
+        return Request(self)
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.append(req)
+            req.succeed(req)
+
+    def _release(self, req: Request) -> None:
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._queue:
+            self._queue.remove(req)
+        else:
+            return  # already released; releasing twice is a no-op
+        self._dispatch()
+
+
+class Container:
+    """A continuous quantity with bounded level (e.g. a power-budget pool).
+
+    ``get`` requests block until the level is sufficient; ``put`` requests
+    block until there is headroom.  Waiters are served FIFO, but a blocked
+    large request does not starve the queue forever because every put/get
+    retries the whole queue in order.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        evt = Event(self.env)
+        self._putters.append((evt, float(amount)))
+        self._drain()
+        return evt
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires when the level covers it."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        evt = Event(self.env)
+        self._getters.append((evt, float(amount)))
+        self._drain()
+        return evt
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                evt, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    evt.succeed(amount)
+                    progress = True
+            if self._getters:
+                evt, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    evt.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """FIFO store of arbitrary Python objects with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; fires when accepted (immediately if room)."""
+        evt = Event(self.env)
+        self._putters.append((evt, item))
+        self._drain()
+        return evt
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; fires (with the item) when available."""
+        evt = Event(self.env)
+        self._getters.append(evt)
+        self._drain()
+        return evt
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self._items) < self.capacity:
+                evt, item = self._putters.popleft()
+                self._items.append(item)
+                evt.succeed(item)
+                progress = True
+            while self._getters and self._items:
+                evt = self._getters.popleft()
+                evt.succeed(self._items.popleft())
+                progress = True

@@ -1,0 +1,20 @@
+"""Telemetry: time-series DB, energy accounting, phase-correlating profiler."""
+
+from .accounting import EnergyAccountant, JobEnergyBill, UserStatement
+from .events import EventCorrelator, EventTrace, events_from_execution
+from .profiler import PhaseMarker, PowerProfiler, RegionProfile
+from .tsdb import SeriesKey, TimeSeriesDB
+
+__all__ = [
+    "EnergyAccountant",
+    "EventCorrelator",
+    "EventTrace",
+    "JobEnergyBill",
+    "PhaseMarker",
+    "events_from_execution",
+    "PowerProfiler",
+    "RegionProfile",
+    "SeriesKey",
+    "TimeSeriesDB",
+    "UserStatement",
+]

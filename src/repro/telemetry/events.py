@@ -1,0 +1,142 @@
+"""Out-of-band architectural-event telemetry (Section III-A1).
+
+"not only node power is accessible at high accuracy, but also both per
+component power consumption and **architectural events** can be
+monitored out-of-band from the BBB, and sent to external agents and
+smart profilers", and the profiler correlates "the power consumption
+with program phases and architectural events".
+
+An :class:`EventTrace` carries a performance-counter rate series (IPS,
+memory bandwidth, GPU occupancy...) on the same timestamp basis as the
+power traces.  :func:`events_from_execution` synthesises the counter
+streams an application run would produce from its phase structure, and
+:class:`EventCorrelator` quantifies which counter explains the power —
+the "data intelligence" view of where the watts go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.base import CommKind, Device, ExecutionReport
+from ..power.trace import PowerTrace
+
+__all__ = ["EventTrace", "events_from_execution", "EventCorrelator"]
+
+
+@dataclass(frozen=True)
+class EventTrace:
+    """One counter's rate series (events/second at each timestamp)."""
+
+    name: str
+    times_s: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times_s, dtype=float)
+        r = np.asarray(self.rates, dtype=float)
+        if t.shape != r.shape or t.ndim != 1:
+            raise ValueError("times and rates must be aligned 1-D arrays")
+        if t.size >= 2 and np.any(np.diff(t) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        object.__setattr__(self, "times_s", t)
+        object.__setattr__(self, "rates", r)
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    def mean_rate(self) -> float:
+        """Time-weighted mean rate."""
+        if len(self) < 2:
+            return float(self.rates[0]) if len(self) else 0.0
+        return float(np.trapezoid(self.rates, self.times_s) / (self.times_s[-1] - self.times_s[0]))
+
+
+def events_from_execution(report: ExecutionReport, iterations: int | None = None) -> dict[str, EventTrace]:
+    """Synthesise counter streams from an application run's phases.
+
+    Produces three counters on the phase-step timestamp grid:
+
+    * ``flops_rate`` — floating-point throughput;
+    * ``membw_rate`` — device-memory traffic;
+    * ``comm_active`` — 1 while a phase is communication-dominated.
+    """
+    reps = min(iterations if iterations is not None else report.n_iterations, report.n_iterations)
+    times = [0.0]
+    flops, membw, comm = [], [], []
+    t = 0.0
+    for _ in range(reps):
+        for pt in report.phase_timings:
+            dt = pt.total_s
+            if dt <= 0:
+                continue
+            flops.append(pt.phase.flops / dt)
+            membw.append(pt.phase.bytes_moved / dt)
+            is_comm = pt.phase.comm is not CommKind.NONE or (pt.comm_s + pt.transfer_s) > pt.compute_s
+            comm.append(1.0 if is_comm else 0.0)
+            t += dt
+            times.append(t)
+    t_arr = np.array(times[:-1]) if len(times) > 1 else np.array([0.0])
+    def mk(name, vals):
+        return EventTrace(name=name, times_s=t_arr, rates=np.array(vals) if vals else np.array([0.0]))
+    return {
+        "flops_rate": mk("flops_rate", flops),
+        "membw_rate": mk("membw_rate", membw),
+        "comm_active": mk("comm_active", comm),
+    }
+
+
+class EventCorrelator:
+    """Correlate counter streams with a measured power trace."""
+
+    def __init__(self, power: PowerTrace):
+        if len(power) < 4:
+            raise ValueError("need a power trace with at least 4 samples")
+        self.power = power
+
+    def _aligned(self, event: EventTrace) -> tuple[np.ndarray, np.ndarray]:
+        if len(event) < 2:
+            raise ValueError(f"event trace {event.name!r} too short")
+        t0 = max(self.power.times_s[0], event.times_s[0])
+        t1 = min(self.power.times_s[-1], event.times_s[-1])
+        if t1 <= t0:
+            raise ValueError("event and power traces do not overlap")
+        grid = np.linspace(t0, t1, max(len(self.power) * 4, 256))
+        # Both streams are stepwise (phase plateaus / sample-and-hold):
+        # previous-value hold avoids the half-phase smear linear
+        # interpolation would introduce on coarse step traces.
+        p_idx = np.clip(
+            np.searchsorted(self.power.times_s, grid, side="right") - 1, 0, len(self.power) - 1
+        )
+        p = self.power.power_w[p_idx]
+        e_idx = np.clip(np.searchsorted(event.times_s, grid, side="right") - 1, 0, len(event) - 1)
+        e = event.rates[e_idx]
+        return p, e
+
+    def correlation(self, event: EventTrace) -> float:
+        """Pearson correlation between a counter and the power."""
+        p, e = self._aligned(event)
+        if p.std() == 0 or e.std() == 0:
+            return 0.0
+        return float(np.corrcoef(p, e)[0, 1])
+
+    def explain(self, events: dict[str, EventTrace]) -> dict[str, float]:
+        """Correlation of every counter with power, best-explainer first."""
+        if not events:
+            raise ValueError("no event traces supplied")
+        scores = {name: self.correlation(ev) for name, ev in events.items()}
+        return dict(sorted(scores.items(), key=lambda kv: -abs(kv[1])))
+
+    def watts_per_event(self, event: EventTrace) -> tuple[float, float]:
+        """Least-squares power model P ~ a * rate + b.
+
+        Returns (a, b): the marginal watts per counter unit and the
+        event-independent floor — the per-event energy-cost view
+        profilers derive from exactly this regression.
+        """
+        p, e = self._aligned(event)
+        A = np.vstack([e, np.ones_like(e)]).T
+        (a, b), *_ = np.linalg.lstsq(A, p, rcond=None)
+        return float(a), float(b)

@@ -1,0 +1,169 @@
+"""In-memory time-series database for the monitoring pipeline.
+
+Fig. 4: "this information is recorded into a database, and computed by
+the management node for the training of job-to-power predictors".
+
+A minimal but real TSDB: named series keyed by (metric, tags), append
+mostly-ordered samples, time-range queries, downsampling aggregations,
+and retention trimming.  Storage is chunked NumPy arrays so appends are
+O(1) amortised and range scans are vectorised.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.trace import PowerTrace
+
+__all__ = ["SeriesKey", "TimeSeriesDB"]
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """Identity of one series: metric name + sorted tag set."""
+
+    metric: str
+    tags: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def of(cls, metric: str, **tags: str) -> "SeriesKey":
+        """Convenience constructor with keyword tags."""
+        if not metric:
+            raise ValueError("metric name must be non-empty")
+        return cls(metric=metric, tags=tuple(sorted(tags.items())))
+
+    def matches(self, metric: str | None = None, **tags: str) -> bool:
+        """Whether this key matches a (possibly partial) filter."""
+        if metric is not None and self.metric != metric:
+            return False
+        mine = dict(self.tags)
+        return all(mine.get(k) == v for k, v in tags.items())
+
+
+class _Series:
+    """One series: growable arrays kept sorted by time."""
+
+    __slots__ = ("times", "values", "size")
+
+    def __init__(self) -> None:
+        self.times = np.empty(1024)
+        self.values = np.empty(1024)
+        self.size = 0
+
+    def append(self, t: float, v: float) -> None:
+        if self.size == self.times.size:
+            self.times = np.resize(self.times, self.times.size * 2)
+            self.values = np.resize(self.values, self.values.size * 2)
+        if self.size and t <= self.times[self.size - 1]:
+            # Out-of-order sample: insert to keep the arrays sorted.
+            idx = int(np.searchsorted(self.times[: self.size], t, side="right"))
+            self.times[idx + 1: self.size + 1] = self.times[idx: self.size]
+            self.values[idx + 1: self.size + 1] = self.values[idx: self.size]
+            self.times[idx] = t
+            self.values[idx] = v
+        else:
+            self.times[self.size] = t
+            self.values[self.size] = v
+        self.size += 1
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.times[: self.size], self.values[: self.size]
+
+    def trim_before(self, t: float) -> int:
+        times, values = self.view()
+        idx = int(np.searchsorted(times, t, side="left"))
+        if idx == 0:
+            return 0
+        remaining = self.size - idx
+        self.times[:remaining] = times[idx:]
+        self.values[:remaining] = values[idx:]
+        self.size = remaining
+        return idx
+
+
+class TimeSeriesDB:
+    """The management node's sample store."""
+
+    def __init__(self) -> None:
+        self._series: dict[SeriesKey, _Series] = {}
+
+    # -- writes ---------------------------------------------------------------
+    def insert(self, key: SeriesKey, t: float, value: float) -> None:
+        """Insert one sample."""
+        self._series.setdefault(key, _Series()).append(float(t), float(value))
+
+    def insert_many(self, key: SeriesKey, times, values) -> int:
+        """Bulk insert aligned arrays; returns the count inserted."""
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError("times and values must be aligned 1-D arrays")
+        series = self._series.setdefault(key, _Series())
+        for ti, vi in zip(t, v):
+            series.append(float(ti), float(vi))
+        return int(t.size)
+
+    def insert_trace(self, key: SeriesKey, trace: PowerTrace) -> int:
+        """Bulk insert a PowerTrace."""
+        return self.insert_many(key, trace.times_s, trace.power_w)
+
+    # -- reads -----------------------------------------------------------------
+    def keys(self, metric: str | None = None, **tags: str) -> list[SeriesKey]:
+        """All series keys matching a filter."""
+        return [k for k in self._series if k.matches(metric, **tags)]
+
+    def query(
+        self, key: SeriesKey, t_start: float = -np.inf, t_end: float = np.inf
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw samples of one series in [t_start, t_end]."""
+        if key not in self._series:
+            raise KeyError(f"no series {key}")
+        times, values = self._series[key].view()
+        lo = int(np.searchsorted(times, t_start, side="left"))
+        hi = int(np.searchsorted(times, t_end, side="right"))
+        return times[lo:hi].copy(), values[lo:hi].copy()
+
+    def query_trace(self, key: SeriesKey, t_start: float = -np.inf, t_end: float = np.inf) -> PowerTrace:
+        """Range query returned as a PowerTrace (duplicate times collapsed)."""
+        t, v = self.query(key, t_start, t_end)
+        if t.size > 1:
+            keep = np.concatenate(([True], np.diff(t) > 0))
+            t, v = t[keep], v[keep]
+        return PowerTrace(t, v)
+
+    def downsample(
+        self, key: SeriesKey, bucket_s: float, agg: str = "mean",
+        t_start: float = -np.inf, t_end: float = np.inf,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucketed aggregation: mean / max / min / sum / count."""
+        if bucket_s <= 0:
+            raise ValueError("bucket width must be positive")
+        funcs = {"mean": np.mean, "max": np.max, "min": np.min, "sum": np.sum,
+                 "count": lambda a: float(a.size)}
+        if agg not in funcs:
+            raise ValueError(f"unknown aggregation {agg!r}")
+        t, v = self.query(key, t_start, t_end)
+        if t.size == 0:
+            return np.array([]), np.array([])
+        buckets = np.floor(t / bucket_s).astype(np.int64)
+        out_t, out_v = [], []
+        fn = funcs[agg]
+        for b in np.unique(buckets):
+            mask = buckets == b
+            out_t.append((b + 0.5) * bucket_s)
+            out_v.append(float(fn(v[mask])))
+        return np.array(out_t), np.array(out_v)
+
+    # -- maintenance -----------------------------------------------------------------
+    def retention_trim(self, keep_after_s: float) -> int:
+        """Drop all samples older than ``keep_after_s``; returns dropped count."""
+        return sum(s.trim_before(keep_after_s) for s in self._series.values())
+
+    def sample_count(self, key: SeriesKey | None = None) -> int:
+        """Total samples stored (or in one series)."""
+        if key is not None:
+            return self._series[key].size if key in self._series else 0
+        return sum(s.size for s in self._series.values())

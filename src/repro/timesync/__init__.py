@@ -1,0 +1,25 @@
+"""Time synchronization: drifting clocks, PTP (IEEE 1588), NTP baseline."""
+
+from .clocks import TCXO, XO_CHEAP, DisciplinedClock, LocalClock, OscillatorSpec
+from .ntp import NtpClient
+from .ptp import (
+    HW_TIMESTAMPING,
+    SW_TIMESTAMPING,
+    NetworkPathSpec,
+    PtpExchange,
+    PtpSlave,
+)
+
+__all__ = [
+    "DisciplinedClock",
+    "HW_TIMESTAMPING",
+    "LocalClock",
+    "NetworkPathSpec",
+    "NtpClient",
+    "OscillatorSpec",
+    "PtpExchange",
+    "PtpSlave",
+    "SW_TIMESTAMPING",
+    "TCXO",
+    "XO_CHEAP",
+]

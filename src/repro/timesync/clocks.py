@@ -1,0 +1,137 @@
+"""Drifting-clock models for the time-synchronization experiments.
+
+Every energy gateway carries a local oscillator.  Cheap XOs drift tens of
+ppm and wander; without synchronization, timestamps from two nodes
+diverge by milliseconds within minutes, destroying the cross-node power
+trace correlation the paper's monitoring design depends on (Section
+III-A1 and ref [13]).
+
+The model: local time is
+
+    C(t) = t + offset0 + drift * (t - t0) + random_walk(t) + read_jitter
+
+with a first-order drift (frequency error in ppm), an Ornstein-Uhlenbeck
+wander term (oscillator instability), and white read jitter.  A
+:class:`DisciplinedClock` additionally applies the servo corrections a
+sync protocol feeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OscillatorSpec", "LocalClock", "DisciplinedClock", "XO_CHEAP", "TCXO"]
+
+
+@dataclass(frozen=True)
+class OscillatorSpec:
+    """Oscillator quality parameters."""
+
+    name: str
+    drift_ppm_sigma: float      # one-sigma initial frequency error
+    wander_ppm: float           # OU wander magnitude
+    wander_tau_s: float         # OU correlation time
+    read_jitter_s: float        # white timestamp-read jitter (1 sigma)
+
+
+#: The BBB's garden-variety crystal: +-30 ppm, noticeable wander.
+XO_CHEAP = OscillatorSpec(
+    name="cheap XO", drift_ppm_sigma=30.0, wander_ppm=0.5, wander_tau_s=100.0, read_jitter_s=1e-6
+)
+
+#: A temperature-compensated oscillator for comparison.
+TCXO = OscillatorSpec(
+    name="TCXO", drift_ppm_sigma=2.0, wander_ppm=0.05, wander_tau_s=300.0, read_jitter_s=0.2e-6
+)
+
+
+class LocalClock:
+    """A free-running clock with deterministic (seeded) imperfections."""
+
+    def __init__(
+        self,
+        spec: OscillatorSpec = XO_CHEAP,
+        rng: np.random.Generator | None = None,
+        initial_offset_s: float | None = None,
+    ):
+        self.spec = spec
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.offset0_s = (
+            float(self.rng.normal(0.0, 10e-3)) if initial_offset_s is None else initial_offset_s
+        )
+        self.drift = float(self.rng.normal(0.0, spec.drift_ppm_sigma)) * 1e-6
+        self._wander_state_ppm = 0.0
+        self._wander_time = 0.0
+        self._accumulated_wander_s = 0.0
+
+    def _wander_s(self, t: float) -> float:
+        """Integrated OU wander up to time ``t`` (stateful, monotone in t)."""
+        # Advance the OU process in coarse steps; adequate for sync studies.
+        dt_total = t - self._wander_time
+        if dt_total <= 0:
+            return self._accumulated_wander_s
+        step = max(self.spec.wander_tau_s / 10.0, 1e-3)
+        theta = 1.0 / self.spec.wander_tau_s
+        remaining = dt_total
+        while remaining > 0:
+            dt = min(step, remaining)
+            noise = self.rng.normal(0.0, self.spec.wander_ppm * np.sqrt(dt))
+            self._wander_state_ppm += -theta * self._wander_state_ppm * dt + noise
+            self._accumulated_wander_s += self._wander_state_ppm * 1e-6 * dt
+            remaining -= dt
+        self._wander_time = t
+        return self._accumulated_wander_s
+
+    def read(self, true_time_s: float) -> float:
+        """The clock's reading at true time ``true_time_s``."""
+        wander = self._wander_s(true_time_s)
+        jitter = float(self.rng.normal(0.0, self.spec.read_jitter_s))
+        return true_time_s + self.offset0_s + self.drift * true_time_s + wander + jitter
+
+    def error_s(self, true_time_s: float) -> float:
+        """Clock error (reading minus truth) at a true time."""
+        return self.read(true_time_s) - true_time_s
+
+
+class DisciplinedClock:
+    """A local clock steered by servo corrections from a sync protocol.
+
+    The servo holds an offset and rate correction; ``read`` applies them
+    on top of the raw local clock.  Sync protocols call ``apply_servo``
+    with their latest estimates.
+    """
+
+    def __init__(self, local: LocalClock):
+        self.local = local
+        self._offset_correction_s = 0.0
+        self._rate_correction = 0.0
+        self._last_update_true_s = 0.0
+        self.corrections_applied = 0
+
+    def read(self, true_time_s: float) -> float:
+        """Disciplined reading at a true time."""
+        raw = self.local.read(true_time_s)
+        dt = true_time_s - self._last_update_true_s
+        return raw - self._offset_correction_s - self._rate_correction * dt
+
+    def error_s(self, true_time_s: float) -> float:
+        """Residual error after discipline."""
+        return self.read(true_time_s) - true_time_s
+
+    def apply_servo(self, offset_estimate_s: float, rate_estimate: float, true_time_s: float) -> None:
+        """Fold a protocol's offset/rate estimates into the corrections.
+
+        ``offset_estimate_s`` is the *measured residual offset* at
+        ``true_time_s``; the servo accumulates it (integral action) and
+        adopts the rate estimate directly.  The rate steering accrued
+        since the previous update is committed into the offset correction
+        first — otherwise resetting the update time would silently undo
+        it and the rate integrator would run away.
+        """
+        accrued = self._rate_correction * (true_time_s - self._last_update_true_s)
+        self._offset_correction_s += accrued + offset_estimate_s
+        self._rate_correction = rate_estimate
+        self._last_update_true_s = true_time_s
+        self.corrections_applied += 1

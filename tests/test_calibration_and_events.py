@@ -1,0 +1,143 @@
+"""Tests for sensor calibration and architectural-event correlation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ExecutionPlatform, nemo, quantum_espresso
+from repro.power import (
+    Calibration,
+    PowerTrace,
+    SHUNT_SENSOR,
+    PowerSensor,
+    calibrate,
+    trace_from_function,
+    verification_error,
+)
+from repro.telemetry import EventCorrelator, EventTrace, events_from_execution
+
+
+def chain_with_errors(gain_err=0.03, offset=12.0, noise=1.0, seed=0):
+    """A measurement chain with known systematic errors."""
+    rng = np.random.default_rng(seed)
+
+    def measure(true_w: float) -> float:
+        return true_w * (1.0 + gain_err) + offset + float(rng.normal(0, noise))
+
+    return measure
+
+
+class TestCalibration:
+    def test_recovers_affine_errors(self):
+        measure = chain_with_errors()
+        cal = calibrate(measure, reference_loads_w=[200, 600, 1000, 1400, 1800], readings_per_point=10)
+        # The correction inverts the chain: gain ~ 1/1.03, offset ~ -12/1.03.
+        assert cal.gain == pytest.approx(1 / 1.03, rel=0.01)
+        report = verification_error(measure, cal, check_loads_w=[400, 900, 1600])
+        assert report["worst_relative_error"] < 0.01
+
+    def test_uncalibrated_chain_fails_the_same_check(self):
+        measure = chain_with_errors()
+        identity = Calibration(gain=1.0, offset_w=0.0, residual_rms_w=0.0, n_points=0)
+        report = verification_error(measure, identity, check_loads_w=[400, 900, 1600])
+        assert report["worst_relative_error"] > 0.03
+
+    def test_correct_trace(self):
+        cal = Calibration(gain=2.0, offset_w=5.0, residual_rms_w=0.0, n_points=2)
+        trace = PowerTrace(np.array([0.0, 1.0]), np.array([10.0, 20.0]))
+        out = cal.correct_trace(trace)
+        assert np.allclose(out.power_w, [25.0, 45.0])
+
+    def test_reduces_real_sensor_error(self):
+        sensor = PowerSensor(SHUNT_SENSOR, rng=np.random.default_rng(1))
+
+        def measure(true_w):
+            truth = trace_from_function(lambda t: np.full_like(t, true_w), 0.002, 1e6)
+            return sensor.measure(truth).mean_power_w()
+
+        cal = calibrate(measure, [300, 800, 1300, 1800], readings_per_point=3)
+        report = verification_error(measure, cal, [500, 1000, 1500])
+        assert report["worst_relative_error"] < 0.005
+
+    def test_validation(self):
+        measure = chain_with_errors()
+        with pytest.raises(ValueError):
+            calibrate(measure, [100.0])
+        with pytest.raises(ValueError):
+            calibrate(measure, [100.0, 100.0])
+        with pytest.raises(ValueError):
+            calibrate(measure, [100.0, 200.0], readings_per_point=0)
+        cal = calibrate(measure, [100.0, 200.0])
+        with pytest.raises(ValueError):
+            verification_error(measure, cal, [])
+
+
+class TestEventTraces:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventTrace("x", np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            EventTrace("x", np.array([1.0, 0.5]), np.array([1.0, 2.0]))
+
+    def test_events_from_execution_structure(self):
+        report = ExecutionPlatform.gpu_nvlink().run(quantum_espresso(scale=0.5, n_iterations=10), n_nodes=2)
+        events = events_from_execution(report, iterations=3)
+        assert set(events) == {"flops_rate", "membw_rate", "comm_active"}
+        assert len(events["flops_rate"]) > 0
+        assert events["comm_active"].rates.max() == 1.0  # comm phases exist
+
+    def test_mean_rate(self):
+        ev = EventTrace("x", np.array([0.0, 1.0, 2.0]), np.array([0.0, 2.0, 2.0]))
+        assert 0.0 < ev.mean_rate() <= 2.0
+
+
+class TestEventCorrelator:
+    def synthetic_pair(self):
+        # Power follows the counter plus a floor and noise.
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 10, 500)
+        rate = np.where((t % 2) < 1, 1e12, 1e11)
+        power = 600.0 + rate * 8e-10 + rng.normal(0, 5, t.size)
+        return EventTrace("flops_rate", t, rate), PowerTrace(t, power)
+
+    def test_correlation_finds_the_driver(self):
+        event, power = self.synthetic_pair()
+        corr = EventCorrelator(power)
+        assert corr.correlation(event) > 0.98
+        # An unrelated counter shows ~no correlation.
+        rng = np.random.default_rng(1)
+        noise_ev = EventTrace("noise", event.times_s, rng.normal(0, 1, len(event)))
+        assert abs(corr.correlation(noise_ev)) < 0.2
+
+    def test_explain_ranks_by_strength(self):
+        event, power = self.synthetic_pair()
+        rng = np.random.default_rng(2)
+        noise_ev = EventTrace("noise", event.times_s, rng.normal(0, 1, len(event)))
+        ranked = EventCorrelator(power).explain({"flops": event, "noise": noise_ev})
+        assert list(ranked)[0] == "flops"
+
+    def test_watts_per_event_regression(self):
+        event, power = self.synthetic_pair()
+        a, b = EventCorrelator(power).watts_per_event(event)
+        assert a == pytest.approx(8e-10, rel=0.05)
+        assert b == pytest.approx(600.0, rel=0.05)
+
+    def test_qe_power_tracks_compute_phases(self):
+        # End to end: the QE run's power correlates with its flops counter.
+        report = ExecutionPlatform.gpu_nvlink().run(quantum_espresso(scale=0.5, n_iterations=10), n_nodes=2)
+        power = report.power_trace(iterations=5)
+        events = events_from_execution(report, iterations=5)
+        scores = EventCorrelator(power).explain(events)
+        # Power is GPU-phase-dominated: the flops counter explains it
+        # better than the comm-activity flag is anticorrelated.
+        assert scores["flops_rate"] > 0.3
+
+    def test_validation(self):
+        _, power = self.synthetic_pair()
+        corr = EventCorrelator(power)
+        with pytest.raises(ValueError):
+            EventCorrelator(PowerTrace(np.array([0.0, 1.0]), np.array([1.0, 2.0])))
+        with pytest.raises(ValueError):
+            corr.explain({})
+        far = EventTrace("far", np.array([100.0, 101.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            corr.correlation(far)

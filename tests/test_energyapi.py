@@ -1,0 +1,167 @@
+"""Tests for the energy-proportionality node API and instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.energyapi import (
+    ComponentConfig,
+    Instrumentation,
+    NodeEnergyApi,
+    TradeoffRecorder,
+)
+from repro.hardware import ComputeNode
+from repro.telemetry import PowerProfiler
+from repro.power import PowerTrace
+
+
+class TestComponentConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComponentConfig(gpus_needed=-1)
+        with pytest.raises(ValueError):
+            ComponentConfig(memory_throttle=0.0)
+        ComponentConfig()  # all-None is a valid no-op
+
+
+class TestNodeEnergyApi:
+    def test_sleep_unused_gpus_saves_power(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        before = node.power_w()
+        slept = api.sleep_unused_gpus(1)
+        assert slept == 3
+        assert node.power_w() < before
+        assert node.gpus[0].asleep is False
+        assert all(g.asleep for g in node.gpus[1:])
+
+    def test_core_gating_and_smt(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        api.set_active_cores(2)
+        api.set_smt(2)
+        assert all(c.active_cores == 2 and c.smt_level == 2 for c in node.cpus)
+
+    def test_frequency_pinning(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        api.set_cpu_frequency(2.5e9)
+        assert all(c.frequency_hz >= 2.5e9 for c in node.cpus)
+
+    def test_memory_throttle(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        full = api.effective_memory_bandwidth_Bps
+        api.set_memory_throttle(0.5)
+        assert api.effective_memory_bandwidth_Bps == pytest.approx(full / 2)
+        with pytest.raises(ValueError):
+            api.set_memory_throttle(1.5)
+
+    def test_apply_composite_config(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        api.apply(ComponentConfig(active_cores_per_cpu=4, gpus_needed=2, memory_throttle=0.8))
+        assert node.cpus[0].active_cores == 4
+        assert sum(g.asleep for g in node.gpus) == 2
+
+    def test_reset_restores_everything(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        api.apply(ComponentConfig(active_cores_per_cpu=1, smt_level=1, gpus_needed=0))
+        api.reset()
+        assert all(c.active_cores == c.spec.cores for c in node.cpus)
+        assert all(not g.asleep for g in node.gpus)
+        assert node.relative_performance() == pytest.approx(1.0)
+
+    def test_region_scope_restores_on_exit(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        with api.region(ComponentConfig(gpus_needed=0)):
+            assert all(g.asleep for g in node.gpus)
+        assert all(not g.asleep for g in node.gpus)
+
+    def test_region_scope_restores_on_exception(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        with pytest.raises(RuntimeError):
+            with api.region(ComponentConfig(gpus_needed=0)):
+                raise RuntimeError("boom")
+        assert all(not g.asleep for g in node.gpus)
+
+    def test_idle_power_saving_leaves_state_untouched(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        node.cpus[0].set_active_cores(4)
+        saving = api.idle_power_saving_w(ComponentConfig(gpus_needed=0))
+        assert saving > 0
+        assert node.cpus[0].active_cores == 4
+        assert all(not g.asleep for g in node.gpus)
+
+    def test_call_log(self):
+        api = NodeEnergyApi(ComputeNode())
+        api.set_active_cores(2)
+        api.sleep_unused_gpus(1)
+        api.reset()
+        assert api.log.calls == ["cores=2", "gpus=1", "gpus=all", "reset"]
+
+
+class TestInstrumentation:
+    def test_markers_recorded_with_clock(self):
+        now = {"t": 0.0}
+        instr = Instrumentation(clock=lambda: now["t"])
+        with instr.region("fft"):
+            now["t"] = 2.0
+        with instr.region("mpi"):
+            now["t"] = 3.0
+        assert len(instr.markers) == 2
+        fft = instr.markers_for("fft")[0]
+        assert fft.t_enter_s == 0.0 and fft.t_exit_s == 2.0
+
+    def test_region_applies_and_resets_node_shape(self):
+        node = ComputeNode()
+        api = NodeEnergyApi(node)
+        now = {"t": 0.0}
+        instr = Instrumentation(clock=lambda: now["t"], api=api)
+        with instr.region("io", config=ComponentConfig(gpus_needed=0)):
+            assert all(g.asleep for g in node.gpus)
+            now["t"] = 1.0
+        assert all(not g.asleep for g in node.gpus)
+
+    def test_markers_feed_profiler(self):
+        now = {"t": 0.0}
+        instr = Instrumentation(clock=lambda: now["t"])
+        with instr.region("hot"):
+            now["t"] = 1.0
+        with instr.region("cold"):
+            now["t"] = 2.0
+        t = np.arange(0, 2, 0.01)
+        trace = PowerTrace(t, np.where(t < 1.0, 1800.0, 600.0))
+        profiler = PowerProfiler(trace)
+        sep = profiler.region_power_separation(instr.markers, "hot", "cold")
+        assert sep > 1000.0
+
+
+class TestTradeoffRecorder:
+    def test_best_selectors(self):
+        rec = TradeoffRecorder()
+        rec.record("fast", time_s=10.0, energy_j=2000.0)
+        rec.record("eco", time_s=20.0, energy_j=1200.0)
+        rec.record("balanced", time_s=12.0, energy_j=1500.0)
+        assert rec.best_time().label == "fast"
+        assert rec.best_energy().label == "eco"
+        assert rec.best_edp().label == "balanced"
+
+    def test_pareto_front(self):
+        rec = TradeoffRecorder()
+        rec.record("a", 10.0, 2000.0)
+        rec.record("b", 12.0, 1500.0)
+        rec.record("dominated", 13.0, 1600.0)
+        rec.record("c", 20.0, 1200.0)
+        front = [p.label for p in rec.pareto_front()]
+        assert front == ["a", "b", "c"]
+
+    def test_validation(self):
+        rec = TradeoffRecorder()
+        with pytest.raises(ValueError):
+            rec.record("x", time_s=0.0, energy_j=1.0)
+        with pytest.raises(ValueError):
+            rec.best_energy()

@@ -1,0 +1,273 @@
+"""Tests for the MQTT-semantics broker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.monitoring import (
+    MqttBroker,
+    topic_matches,
+    validate_filter,
+    validate_topic,
+)
+
+
+class TestTopicValidation:
+    def test_publish_topic_rejects_wildcards(self):
+        with pytest.raises(ValueError):
+            validate_topic("a/+/b")
+        with pytest.raises(ValueError):
+            validate_topic("a/#")
+        with pytest.raises(ValueError):
+            validate_topic("")
+
+    def test_filter_hash_must_be_last(self):
+        validate_filter("a/b/#")
+        with pytest.raises(ValueError):
+            validate_filter("a/#/b")
+
+    def test_filter_wildcards_must_fill_level(self):
+        with pytest.raises(ValueError):
+            validate_filter("a/b#")
+        with pytest.raises(ValueError):
+            validate_filter("a/b+/c")
+        validate_filter("+/+/+")
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize(
+        "filt,topic,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b/d", False),
+            ("a/+/c", "a/b/c", True),
+            ("a/+/c", "a/b/d", False),
+            ("a/#", "a/b/c/d", True),
+            # Per MQTT 3.1.1, "sport/#" also matches "sport" itself.
+            ("a/#", "a", True),
+            ("b/#", "a", False),
+            ("#", "anything/at/all", True),
+            ("+", "one", True),
+            ("+", "one/two", False),
+            ("davide/+/power/+", "davide/node3/power/gpu0", True),
+            ("davide/+/power/#", "davide/node3/power/gpu0", True),
+            ("a/b", "a/b/c", False),
+            ("a/b/c", "a/b", False),
+        ],
+    )
+    def test_matching_table(self, filt, topic, expected):
+        assert topic_matches(filt, topic) is expected
+
+
+class TestBrokerRouting:
+    def test_exact_topic_delivery(self):
+        broker = MqttBroker()
+        sub = broker.connect("sub")
+        sub.subscribe("davide/node0/power/node")
+        broker.publish("davide/node0/power/node", {"w": 1500})
+        msg = sub.poll()
+        assert msg.payload == {"w": 1500}
+        assert sub.poll() is None
+
+    def test_wildcard_fanout(self):
+        broker = MqttBroker()
+        agents = [broker.connect(f"agent{i}") for i in range(3)]
+        agents[0].subscribe("davide/+/power/node")  # per-node aggregator
+        agents[1].subscribe("davide/node1/#")       # node-1 profiler
+        agents[2].subscribe("davide/node2/power/gpu0")  # specific rail
+        broker.publish("davide/node1/power/node", 1)
+        broker.publish("davide/node2/power/node", 2)
+        broker.publish("davide/node2/power/gpu0", 3)
+        assert len(agents[0].drain()) == 2
+        assert len(agents[1].drain()) == 1
+        assert len(agents[2].drain()) == 1
+
+    def test_no_delivery_without_match(self):
+        broker = MqttBroker()
+        sub = broker.connect("sub")
+        sub.subscribe("davide/node0/temp")
+        broker.publish("davide/node0/power/node", 1)
+        assert sub.poll() is None
+
+    def test_multiple_subscriptions_same_client_duplicate_delivery(self):
+        # MQTT delivers once per matching subscription for QoS 0 brokers
+        # that don't de-duplicate overlapping filters; we document ours
+        # delivers per-subscription.
+        broker = MqttBroker()
+        sub = broker.connect("sub")
+        sub.subscribe("a/#")
+        sub.subscribe("a/b")
+        broker.publish("a/b", 1)
+        assert len(sub.drain()) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = MqttBroker()
+        sub = broker.connect("sub")
+        sub.subscribe("a/b")
+        sub.unsubscribe("a/b")
+        broker.publish("a/b", 1)
+        assert sub.poll() is None
+
+    def test_disconnect_removes_all_subscriptions(self):
+        broker = MqttBroker()
+        sub = broker.connect("sub")
+        sub.subscribe("a/#")
+        sub.subscribe("b/+")
+        broker.disconnect(sub)
+        broker.publish("a/x", 1)
+        broker.publish("b/y", 1)
+        assert sub.poll() is None
+        assert broker.client_count == 0
+
+    def test_connect_same_id_returns_same_client(self):
+        broker = MqttBroker()
+        assert broker.connect("x") is broker.connect("x")
+
+    def test_counters(self):
+        broker = MqttBroker()
+        a = broker.connect("a")
+        b = broker.connect("b")
+        a.subscribe("t")
+        b.subscribe("t")
+        broker.publish("t", 1)
+        assert broker.published_count == 1
+        assert broker.delivered_count == 2
+
+
+class TestRetainedMessages:
+    def test_late_subscriber_gets_retained(self):
+        broker = MqttBroker()
+        broker.publish("davide/node0/power/node", 1500, retain=True)
+        late = broker.connect("late")
+        late.subscribe("davide/+/power/node")
+        msg = late.poll()
+        assert msg.payload == 1500
+        assert msg.retain
+
+    def test_retained_replaced_by_newer(self):
+        broker = MqttBroker()
+        broker.publish("t", 1, retain=True)
+        broker.publish("t", 2, retain=True)
+        sub = broker.connect("s")
+        sub.subscribe("t")
+        assert sub.poll().payload == 2
+
+    def test_retained_cleared_by_none_payload(self):
+        broker = MqttBroker()
+        broker.publish("t", 1, retain=True)
+        broker.publish("t", None, retain=True)
+        sub = broker.connect("s")
+        sub.subscribe("t")
+        assert sub.poll() is None
+        assert broker.retained_topics() == []
+
+    def test_retained_topics_listing(self):
+        broker = MqttBroker()
+        broker.publish("b", 1, retain=True)
+        broker.publish("a", 1, retain=True)
+        assert broker.retained_topics() == ["a", "b"]
+
+
+class TestQos:
+    def test_invalid_qos_rejected(self):
+        broker = MqttBroker()
+        sub = broker.connect("s")
+        with pytest.raises(ValueError):
+            sub.subscribe("t", qos=2)
+        with pytest.raises(ValueError):
+            broker.publish("t", 1, qos=2)
+
+    def test_qos1_tracked_until_ack(self):
+        broker = MqttBroker()
+        sub = broker.connect("s")
+        sub.subscribe("t", qos=1)
+        broker.publish("t", 1, qos=1)
+        msg = sub.poll()
+        assert sub.inflight_count == 1
+        sub.acknowledge(msg)
+        assert sub.inflight_count == 0
+
+    def test_qos_downgraded_to_subscription_qos(self):
+        broker = MqttBroker()
+        sub = broker.connect("s")
+        sub.subscribe("t", qos=0)
+        broker.publish("t", 1, qos=1)
+        sub.poll()
+        assert sub.inflight_count == 0  # effective QoS 0
+
+    def test_redelivery_sets_duplicate_flag(self):
+        broker = MqttBroker()
+        sub = broker.connect("s")
+        sub.subscribe("t", qos=1)
+        broker.publish("t", 1, qos=1)
+        first = sub.poll()
+        assert not first.duplicate
+        dups = sub.redeliver_inflight()
+        assert len(dups) == 1
+        redelivered = sub.poll()
+        assert redelivered.duplicate
+        assert redelivered.message_id == first.message_id
+
+    def test_ack_stops_redelivery(self):
+        broker = MqttBroker()
+        sub = broker.connect("s")
+        sub.subscribe("t", qos=1)
+        broker.publish("t", 1, qos=1)
+        sub.acknowledge(sub.poll())
+        assert sub.redeliver_inflight() == []
+
+
+class TestInboxOverflow:
+    def test_oldest_dropped_and_counted(self):
+        broker = MqttBroker()
+        sub = broker.connect("slow", inbox_limit=3)
+        sub.subscribe("t")
+        for i in range(5):
+            broker.publish("t", i)
+        assert sub.dropped_count == 2
+        assert [m.payload for m in sub.drain()] == [2, 3, 4]
+
+    def test_callback_bypasses_inbox(self):
+        broker = MqttBroker()
+        got = []
+        sub = broker.connect("cb")
+        sub.on_message = got.append
+        sub.subscribe("t")
+        broker.publish("t", 42)
+        assert len(got) == 1 and got[0].payload == 42
+        assert sub.poll() is None
+
+
+class TestClockIntegration:
+    def test_timestamps_use_broker_clock(self):
+        now = {"t": 100.0}
+        broker = MqttBroker(clock=lambda: now["t"])
+        sub = broker.connect("s")
+        sub.subscribe("t")
+        broker.publish("t", 1)
+        assert sub.poll().timestamp == 100.0
+        now["t"] = 200.0
+        broker.publish("t", 2)
+        assert sub.poll().timestamp == 200.0
+
+
+topic_level = st.text(alphabet="abcxyz0123456789", min_size=1, max_size=4)
+
+
+@given(st.lists(topic_level, min_size=1, max_size=5))
+def test_filter_identical_to_topic_always_matches(levels):
+    topic = "/".join(levels)
+    assert topic_matches(topic, topic)
+
+
+@given(st.lists(topic_level, min_size=1, max_size=5), st.integers(min_value=0, max_value=4))
+def test_plus_wildcard_matches_any_single_level(levels, idx):
+    topic = "/".join(levels)
+    filt_levels = list(levels)
+    filt_levels[min(idx, len(levels) - 1)] = "+"
+    assert topic_matches("/".join(filt_levels), topic)
+
+
+@given(st.lists(topic_level, min_size=2, max_size=6))
+def test_hash_matches_any_suffix(levels):
+    topic = "/".join(levels)
+    assert topic_matches(levels[0] + "/#", topic)

@@ -1,0 +1,115 @@
+"""Tests for max-min fair flow allocation on the fabric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    FatTree,
+    allocate_fat_tree_flows,
+    completion_time_s,
+    max_min_fair,
+    permutation_traffic,
+)
+
+
+class TestMaxMinFair:
+    def test_single_flow_gets_the_link(self):
+        alloc = max_min_fair([["L"]], {"L": 100.0})
+        assert alloc.rates_Bps[0] == pytest.approx(100.0)
+        assert alloc.bottleneck_links == ("L",)
+
+    def test_two_flows_share_equally(self):
+        alloc = max_min_fair([["L"], ["L"]], {"L": 100.0})
+        assert np.allclose(alloc.rates_Bps, 50.0)
+
+    def test_classic_three_flow_example(self):
+        # Flows: A on L1, B on L1+L2, C on L2; capacities L1=100, L2=60.
+        # Max-min: B and C split L2 until B or C freezes... progressive
+        # filling: all grow to 30 (L2 saturates with B+C), then A grows
+        # alone to 70 (L1 = 100 - B's 30).
+        alloc = max_min_fair(
+            [["L1"], ["L1", "L2"], ["L2"]],
+            {"L1": 100.0, "L2": 60.0},
+        )
+        assert alloc.rates_Bps[1] == pytest.approx(30.0)
+        assert alloc.rates_Bps[2] == pytest.approx(30.0)
+        assert alloc.rates_Bps[0] == pytest.approx(70.0)
+
+    def test_demand_caps_respected(self):
+        alloc = max_min_fair([["L"], ["L"]], {"L": 100.0}, demands_Bps=[10.0, 1000.0])
+        assert alloc.rates_Bps[0] == pytest.approx(10.0)
+        assert alloc.rates_Bps[1] == pytest.approx(90.0)
+
+    def test_empty_flow_list(self):
+        alloc = max_min_fair([], {})
+        assert alloc.total_throughput_Bps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            max_min_fair([["missing"]], {})
+        with pytest.raises(ValueError):
+            max_min_fair([["L"]], {"L": 0.0})
+        with pytest.raises(ValueError):
+            max_min_fair([["L"]], {"L": 1.0}, demands_Bps=[0.0])
+        with pytest.raises(ValueError):
+            max_min_fair([["L"]], {"L": 1.0}, demands_Bps=[1.0, 2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_shared_link_shared_equally(self, n_flows, capacity):
+        alloc = max_min_fair([["L"]] * n_flows, {"L": capacity})
+        assert np.allclose(alloc.rates_Bps, capacity / n_flows)
+        assert alloc.total_throughput_Bps == pytest.approx(capacity)
+
+
+class TestFatTreeFlows:
+    def test_nonblocking_tree_serves_full_demand(self):
+        tree = FatTree(n_nodes=36, switch_radix=36, oversubscription=1.0)
+        bw = tree.link.bandwidth_Bps
+        flows = permutation_traffic(36, bw, shift=tree.shape.hosts_per_leaf)
+        alloc = allocate_fat_tree_flows(tree, flows)
+        assert np.allclose(alloc.rates_Bps, bw, rtol=1e-6)
+
+    def test_oversubscribed_tree_halves_adversarial_flows(self):
+        tree = FatTree(n_nodes=72, switch_radix=36, oversubscription=2.0)
+        bw = tree.link.bandwidth_Bps
+        flows = permutation_traffic(72, bw, shift=tree.shape.hosts_per_leaf)
+        alloc = allocate_fat_tree_flows(tree, flows)
+        # Two wire-rate flows share each uplink -> everyone gets half.
+        assert alloc.min_rate_Bps == pytest.approx(bw / 2, rel=1e-6)
+        assert len(alloc.bottleneck_links) > 0
+
+    def test_intra_leaf_flows_unaffected_by_uplink_congestion(self):
+        tree = FatTree(n_nodes=72, switch_radix=36, oversubscription=2.0)
+        bw = tree.link.bandwidth_Bps
+        flows = permutation_traffic(72, bw, shift=tree.shape.hosts_per_leaf)
+        flows.append((0, 1, bw))  # same-leaf neighbours
+        alloc = allocate_fat_tree_flows(tree, flows)
+        # Hmm: host 0 and 1 already send/receive permutation traffic, so
+        # their host links are shared; the flow still beats the uplink share.
+        assert alloc.rates_Bps[-1] >= bw / 2 - 1e-6
+
+    def test_completion_time(self):
+        tree = FatTree(n_nodes=8, switch_radix=36)
+        bw = tree.link.bandwidth_Bps
+        flows = [(0, 1, bw), (2, 3, bw)]
+        alloc = allocate_fat_tree_flows(tree, flows)
+        t = completion_time_s([bw, 2 * bw], alloc)
+        assert t == pytest.approx(2.0)
+
+    def test_completion_time_validation(self):
+        tree = FatTree(n_nodes=4, switch_radix=36)
+        alloc = allocate_fat_tree_flows(tree, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            completion_time_s([1.0, 2.0], alloc)
+        with pytest.raises(ValueError):
+            completion_time_s([-1.0], alloc)
+
+    def test_flow_demand_validation(self):
+        tree = FatTree(n_nodes=4, switch_radix=36)
+        with pytest.raises(ValueError):
+            allocate_fat_tree_flows(tree, [(0, 1, 0.0)])

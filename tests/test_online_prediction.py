@@ -1,0 +1,125 @@
+"""Tests for the online (RLS) job-power predictor."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import FeatureEncoder, OnlineJobPowerModel, OnlineRidge
+from repro.scheduler import (
+    ClusterSimulator,
+    EasyBackfillScheduler,
+    Job,
+    JobRecord,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+class TestOnlineRidge:
+    def test_learns_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        rls = OnlineRidge(n_features=3, lam=1.0)
+        w_true = np.array([2.0, -1.0, 0.5])
+        for _ in range(300):
+            x = rng.normal(size=3)
+            rls.update(x, float(w_true @ x + 4.0 + rng.normal(0, 0.01)))
+        x_test = rng.normal(size=3)
+        assert rls.predict(x_test) == pytest.approx(float(w_true @ x_test + 4.0), abs=0.1)
+
+    def test_error_shrinks_with_samples(self):
+        rng = np.random.default_rng(1)
+        rls = OnlineRidge(n_features=2, lam=1.0)
+        w_true = np.array([1.5, -0.7])
+        errors = []
+        for _ in range(200):
+            x = rng.normal(size=2)
+            errors.append(abs(rls.update(x, float(w_true @ x))))
+        assert np.mean(errors[-20:]) < np.mean(errors[:20]) / 10
+
+    def test_forgetting_tracks_drift(self):
+        rng = np.random.default_rng(2)
+        adaptive = OnlineRidge(n_features=1, lam=0.95)
+        frozen = OnlineRidge(n_features=1, lam=1.0)
+        # Regime A for 200 samples, then the slope doubles.
+        for _ in range(200):
+            x = rng.normal(size=1)
+            y = float(2.0 * x[0])
+            adaptive.update(x, y)
+            frozen.update(x, y)
+        for _ in range(100):
+            x = rng.normal(size=1)
+            y = float(4.0 * x[0])
+            adaptive.update(x, y)
+            frozen.update(x, y)
+        x_test = np.array([1.0])
+        assert abs(adaptive.predict(x_test) - 4.0) < abs(frozen.predict(x_test) - 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineRidge(0)
+        with pytest.raises(ValueError):
+            OnlineRidge(2, lam=0.0)
+        with pytest.raises(ValueError):
+            OnlineRidge(2, delta=0.0)
+        rls = OnlineRidge(2)
+        with pytest.raises(ValueError):
+            rls.update(np.zeros(3), 1.0)
+
+
+class TestOnlineJobPowerModel:
+    def finished_records(self, jobs):
+        """Run the jobs so each record carries measured energy."""
+        result = ClusterSimulator(45, EasyBackfillScheduler()).run(jobs)
+        return list(result.records)
+
+    def test_prior_before_enough_samples(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=30), rng=np.random.default_rng(0)).generate()
+        enc = FeatureEncoder().fit(jobs)
+        model = OnlineJobPowerModel(enc, min_samples=10)
+        assert model.predict_per_node(jobs[0]) == 1800.0
+        assert model(jobs[0]) == 1800.0 * jobs[0].n_nodes
+
+    def test_accuracy_improves_over_the_stream(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(n_jobs=400), rng=np.random.default_rng(3)
+        ).generate()
+        enc = FeatureEncoder().fit(jobs)
+        model = OnlineJobPowerModel(enc, min_samples=10)
+        records = self.finished_records(jobs)
+        records.sort(key=lambda r: r.end_time_s)
+        errors = []
+        for rec in records:
+            # Predict before observing (prequential evaluation).
+            pred = model.predict_per_node(rec.job)
+            errors.append(abs(pred - rec.job.true_power_per_node_w) / rec.job.true_power_per_node_w)
+            model.observe(rec)
+        early = np.mean(errors[10:60])
+        late = np.mean(errors[-50:])
+        assert late < early
+        assert late < 0.10  # converges into the cited accuracy band
+
+    def test_observe_requires_finished_record(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=20), rng=np.random.default_rng(4)).generate()
+        enc = FeatureEncoder().fit(jobs)
+        model = OnlineJobPowerModel(enc)
+        with pytest.raises(ValueError):
+            model.observe(JobRecord(job=jobs[0]))
+
+    def test_plugs_into_simulator_hooks(self):
+        jobs = WorkloadGenerator(
+            WorkloadConfig(n_jobs=120), rng=np.random.default_rng(5)
+        ).generate()
+        enc = FeatureEncoder().fit(jobs)
+        model = OnlineJobPowerModel(enc)
+        sim = ClusterSimulator(45, EasyBackfillScheduler(), on_job_end=model.observe)
+        sim.run(jobs)
+        assert model.rls.samples_seen == 120
+        # A trained prediction lands in the physical band.
+        assert 300.0 <= model.predict_per_node(jobs[0]) <= 2200.0
+
+    def test_validation(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=20), rng=np.random.default_rng(6)).generate()
+        enc = FeatureEncoder().fit(jobs)
+        with pytest.raises(ValueError):
+            OnlineJobPowerModel(enc, prior_per_node_w=0.0)
+        with pytest.raises(ValueError):
+            OnlineJobPowerModel(enc, min_samples=0)

@@ -1,0 +1,60 @@
+"""Integration test: the full Section-I deployment roadmap.
+
+Burn-in -> air-cooled baseline -> liquid conversion -> production
+acceptance, across all subsystems at once.
+"""
+
+import pytest
+
+from repro.cooling import (
+    AIR_COOLED_GPU,
+    LIQUID_COOLED_GPU,
+    ThrottleGovernor,
+    heat_split_for_rack,
+)
+from repro.hardware import BurnInSuite, Cluster, RackManagementController
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster()
+
+
+class TestDeploymentRoadmap:
+    def test_stage1_every_node_passes_burn_in(self, cluster):
+        suite = BurnInSuite()
+        reports = [suite.run(node) for node in cluster.nodes]
+        assert all(r.passed for r in reports)
+        assert len(reports) == 45
+
+    def test_stage2_air_baseline_throttles(self):
+        gov = ThrottleGovernor()
+        air = gov.run(AIR_COOLED_GPU(28.0), 300.0, duration_s=1800.0)
+        assert air.throttled_fraction > 0.3
+        assert air.mean_performance_fraction < 1.0
+
+    def test_stage3_liquid_conversion_restores_performance(self):
+        gov = ThrottleGovernor()
+        air = gov.run(AIR_COOLED_GPU(28.0), 300.0, duration_s=1800.0)
+        liquid = gov.run(LIQUID_COOLED_GPU(35.0), 300.0, duration_s=1800.0)
+        assert liquid.mean_performance_fraction == pytest.approx(1.0)
+        assert liquid.mean_performance_fraction > air.mean_performance_fraction
+
+    def test_stage4_production_acceptance(self, cluster):
+        for node in cluster.nodes:
+            node.apply_power_cap(None)
+            node.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+        rmcs = [RackManagementController(rack) for rack in cluster.racks]
+        for rmc in rmcs:
+            rmc.optimize_fans()
+        # Envelope, feeds, exhaust target, efficiency — all at once.
+        assert cluster.facility_power_w() < 100e3
+        for rmc in rmcs:
+            health = rmc.health_summary()
+            assert health["within_feed"]
+            assert health["exhaust_temp_c"] <= 45.5
+        assert cluster.energy_efficiency_flops_per_w() > 9.5e9
+        split = heat_split_for_rack(cluster.racks[0])
+        assert 0.70 <= split.liquid_fraction <= 0.82
+        for node in cluster.nodes:
+            node.idle()

@@ -1,0 +1,135 @@
+"""Tests for the Power API façade over the cluster models."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.monitoring import Attribute, NodeObject, PlatformObject, PwrObject, make_platform
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestHierarchy:
+    def test_platform_structure(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        objs = list(platform.walk())
+        cabinets = [o for o in objs if o.obj_type == "PWR_OBJ_CABINET"]
+        nodes = [o for o in objs if o.obj_type == "PWR_OBJ_NODE"]
+        assert len(cabinets) == 3
+        assert len(nodes) == 45
+
+    def test_find_by_name(self):
+        platform = make_platform(Cluster())
+        assert platform.find("node17").obj_type == "PWR_OBJ_NODE"
+        assert platform.find("cabinet1").obj_type == "PWR_OBJ_CABINET"
+        with pytest.raises(KeyError):
+            platform.find("node999")
+
+    def test_supported_attributes(self):
+        platform = make_platform(Cluster())
+        node = platform.find("node0")
+        assert Attribute.POWER in node.supported_attributes()
+        assert Attribute.POWER_LIMIT_MAX in node.supported_attributes()
+        assert Attribute.POWER in platform.supported_attributes()
+
+
+class TestReads:
+    def test_node_power_reading(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        node_obj = platform.find("node0")
+        cluster.node(0).set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+        reading = node_obj.get(Attribute.POWER)
+        assert reading.value == pytest.approx(cluster.node(0).power_w())
+
+    def test_platform_power_aggregates_nodes(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        total = platform.get(Attribute.POWER).value
+        assert total == pytest.approx(sum(n.power_w() for n in cluster.nodes))
+
+    def test_energy_counter_semantics(self):
+        clock = FakeClock()
+        cluster = Cluster()
+        platform = make_platform(cluster, clock)
+        node_obj = platform.find("node0")
+        p0 = node_obj.get(Attribute.POWER).value
+        clock.t = 10.0
+        energy = node_obj.get(Attribute.ENERGY)
+        assert energy.value == pytest.approx(p0 * 10.0)
+        assert energy.timestamp == 10.0
+        # Counter keeps accumulating.
+        clock.t = 20.0
+        assert node_obj.get(Attribute.ENERGY).value == pytest.approx(p0 * 20.0)
+
+    def test_frequency_read(self):
+        platform = make_platform(Cluster())
+        node_obj = platform.find("node0")
+        assert node_obj.get(Attribute.FREQ).value == pytest.approx(4.0e9)
+
+    def test_unlimited_cap_reads_inf(self):
+        platform = make_platform(Cluster())
+        assert platform.find("node0").get(Attribute.POWER_LIMIT_MAX).value == float("inf")
+
+    def test_unsupported_attribute_raises(self):
+        platform = make_platform(Cluster())
+        with pytest.raises(AttributeError):
+            platform.find("node0").get(Attribute.TEMP)
+        with pytest.raises(AttributeError):
+            platform.get(Attribute.FREQ)
+
+
+class TestWrites:
+    def test_node_power_limit_actuates_cap(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        node = cluster.node(0)
+        node.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+        node_obj = platform.find("node0")
+        node_obj.set(Attribute.POWER_LIMIT_MAX, 1400.0)
+        assert node.power_cap_w == 1400.0
+        assert node.power_w() <= 1400.0 * 1.15
+        assert node_obj.get(Attribute.POWER_LIMIT_MAX).value == 1400.0
+
+    def test_platform_limit_fans_out(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        cluster.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+        platform.set(Attribute.POWER_LIMIT_MAX, 45 * 1200.0)
+        # Every node received an equal share through the hierarchy.
+        assert all(n.power_cap_w == pytest.approx(1200.0) for n in cluster.nodes)
+
+    def test_frequency_write(self):
+        cluster = Cluster()
+        platform = make_platform(cluster)
+        platform.find("node3").set(Attribute.FREQ, 2.5e9)
+        assert all(c.frequency_hz >= 2.5e9 for c in cluster.node(3).cpus)
+
+    def test_unsupported_write_raises(self):
+        platform = make_platform(Cluster())
+        with pytest.raises(AttributeError):
+            platform.find("node0").set(Attribute.ENERGY, 0.0)
+        bare = PwrObject("x", "PWR_OBJ_CORE")
+        with pytest.raises(AttributeError):
+            bare.set(Attribute.POWER_LIMIT_MAX, 1.0)
+
+    def test_energy_accounted_up_to_actuation(self):
+        clock = FakeClock()
+        cluster = Cluster()
+        platform = make_platform(cluster, clock)
+        node = cluster.node(0)
+        node.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
+        node_obj = platform.find("node0")
+        p_full = node.power_w()
+        clock.t = 10.0
+        node_obj.set(Attribute.POWER_LIMIT_MAX, 1200.0)  # accrues first 10 s at full power
+        clock.t = 20.0
+        energy = node_obj.get(Attribute.ENERGY).value
+        expected = p_full * 10.0 + node.power_w() * 10.0
+        assert energy == pytest.approx(expected, rel=1e-6)

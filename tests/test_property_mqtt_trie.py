@@ -1,0 +1,58 @@
+"""Property-based tests: the broker's topic trie vs the reference matcher.
+
+The trie is an optimisation; `topic_matches` is the specification.  For
+random topic/filter populations, a publish must reach exactly the
+subscriptions whose filter matches per the reference predicate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.monitoring import MqttBroker, topic_matches
+
+level = st.sampled_from(["a", "b", "c", "node1", "power", "x9"])
+wild_level = st.one_of(level, st.just("+"))
+
+topics = st.lists(level, min_size=1, max_size=5).map("/".join)
+
+
+@st.composite
+def filters(draw):
+    levels = draw(st.lists(wild_level, min_size=1, max_size=5))
+    if draw(st.booleans()):
+        levels.append("#")
+    return "/".join(levels)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(filters(), min_size=1, max_size=8),
+    st.lists(topics, min_size=1, max_size=8),
+)
+def test_trie_delivery_matches_reference(filter_list, topic_list):
+    broker = MqttBroker()
+    clients = []
+    for i, filt in enumerate(filter_list):
+        c = broker.connect(f"c{i}")
+        c.subscribe(filt)
+        clients.append((c, filt))
+    for topic in topic_list:
+        broker.publish(topic, topic)
+    for client, filt in clients:
+        received = [m.payload for m in client.drain()]
+        expected = [t for t in topic_list if topic_matches(filt, t)]
+        assert received == expected, f"filter {filt!r}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(filters(), topics)
+def test_hash_filter_superset_of_exact(filt, topic):
+    # Replacing the last level of a filter with '#' can only widen it.
+    widened = "/".join(filt.split("/")[:-1] + ["#"]) if "/" in filt else "#"
+    if topic_matches(filt, topic):
+        assert topic_matches(widened, topic)
+
+
+@settings(max_examples=100, deadline=None)
+@given(topics)
+def test_every_topic_matched_by_root_hash(topic):
+    assert topic_matches("#", topic)

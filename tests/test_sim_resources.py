@@ -1,0 +1,204 @@
+"""Tests for Resource / Container / Store primitives."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def proc(tag):
+            with res.request() as req:
+                yield req
+                log.append((tag, env.now))
+                yield env.timeout(1.0)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert log == [("a", 0.0), ("b", 0.0)]
+
+    def test_fifo_queuing_when_full(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def proc(tag, hold):
+            with res.request() as req:
+                yield req
+                log.append((tag, env.now))
+                yield env.timeout(hold)
+
+        env.process(proc("first", 2.0))
+        env.process(proc("second", 1.0))
+        env.process(proc("third", 1.0))
+        env.run()
+        assert log == [("first", 0.0), ("second", 2.0), ("third", 3.0)]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def waiter():
+            with res.request() as req:
+                yield req
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_double_release_is_noop(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        env.run()
+        req.release()
+        req.release()  # must not raise
+        assert res.count == 0
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        held = res.request()
+        env.run()
+        queued = res.request()
+        queued.release()  # cancel before grant
+        held.release()
+        env.run()
+        assert res.count == 0 and res.queue_length == 0
+
+
+class TestContainer:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=11)
+
+    def test_get_blocks_until_level_sufficient(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=0)
+        times = []
+
+        def consumer():
+            yield tank.get(30)
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(5.0)
+            yield tank.put(50)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [5.0]
+        assert tank.level == 20
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=10)
+        times = []
+
+        def producer():
+            yield tank.put(5)
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield tank.get(6)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [3.0]
+        assert tank.level == 9
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        tank = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(-1)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+
+
+class TestStore:
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((item, env.now))
+
+        def producer():
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [("late", 4.0)]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+            log.append(env.now)
+
+        def consumer():
+            yield env.timeout(2.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [2.0]
+
+    def test_items_snapshot(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert store.items == ("a", "b")

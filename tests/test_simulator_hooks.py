@@ -1,0 +1,71 @@
+"""Tests for the simulator's lifecycle hooks and their plugin integration."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring import MqttBroker
+from repro.scheduler import (
+    ClusterSimulator,
+    EasyBackfillScheduler,
+    SchedulerMonitorPlugin,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+def workload(n=20, seed=0):
+    return WorkloadGenerator(
+        WorkloadConfig(n_jobs=n, cluster_nodes=8, load_factor=1.0),
+        rng=np.random.default_rng(seed),
+    ).generate()
+
+
+class TestLifecycleHooks:
+    def test_hooks_fire_once_per_job_in_order(self):
+        events = []
+        sim = ClusterSimulator(
+            8,
+            EasyBackfillScheduler(),
+            on_job_start=lambda rec: events.append(("start", rec.job.job_id, rec.start_time_s)),
+            on_job_end=lambda rec: events.append(("end", rec.job.job_id, rec.end_time_s)),
+        )
+        jobs = workload(20)
+        sim.run(jobs)
+        starts = [e for e in events if e[0] == "start"]
+        ends = [e for e in events if e[0] == "end"]
+        assert len(starts) == len(ends) == 20
+        # Each job's start precedes its end.
+        start_by_id = {jid: t for _, jid, t in starts}
+        for _, jid, t_end in ends:
+            assert t_end > start_by_id[jid]
+        # Events arrive in non-decreasing simulated time.
+        times = [e[2] for e in events]
+        # starts/ends interleave; within each stream time is monotone.
+        assert [t for k, _, t in events if k == "start"] == sorted(start_by_id.values())
+
+    def test_plugin_rides_the_hooks_end_to_end(self):
+        broker = MqttBroker()
+        plugin = SchedulerMonitorPlugin(broker)
+        summaries = []
+        sim = ClusterSimulator(
+            8,
+            EasyBackfillScheduler(),
+            on_job_start=plugin.job_started,
+            on_job_end=lambda rec: summaries.append(plugin.job_ended(rec)),
+        )
+        jobs = workload(15, seed=1)
+        sim.run(jobs)
+        assert len(summaries) == 15
+        # Lifecycle events landed on the bus, retained for late agents.
+        agent = broker.connect("late")
+        agent.subscribe("davide/jobs/+/end")
+        assert len(agent.drain()) == 15
+
+    def test_hookless_runs_unchanged(self):
+        jobs = workload(15, seed=2)
+        with_hooks = ClusterSimulator(
+            8, EasyBackfillScheduler(), on_job_start=lambda r: None, on_job_end=lambda r: None
+        ).run(jobs)
+        without = ClusterSimulator(8, EasyBackfillScheduler()).run(jobs)
+        assert with_hooks.makespan_s == pytest.approx(without.makespan_s)
+        assert with_hooks.total_energy_j == pytest.approx(without.total_energy_j)
