@@ -21,6 +21,7 @@ from . import (
     cooling,
     core,
     energyapi,
+    faults,
     hardware,
     monitoring,
     network,
@@ -46,6 +47,7 @@ __all__ = [
     "cooling",
     "core",
     "energyapi",
+    "faults",
     "hardware",
     "monitoring",
     "network",

@@ -1,6 +1,6 @@
 """Power capping: RAPL-style limiting, DVFS governor, PI capper, power sharing."""
 
-from .controller import CapperTelemetry, NodePowerCapper, PiController
+from .controller import CapperTelemetry, NodePowerCapper, PiController, SensorWatchdog
 from .dvfs import DvfsGovernor, PaceResult
 from .rapl import RaplDomain, RaplResult
 from .sharing import (
@@ -18,6 +18,7 @@ __all__ = [
     "PiController",
     "RaplDomain",
     "RaplResult",
+    "SensorWatchdog",
     "allocation_quality",
     "proportional_share",
     "uniform_share",

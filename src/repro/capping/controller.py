@@ -13,13 +13,56 @@ to hold the set point under time-varying utilization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
 from ..hardware.node import ComputeNode
 
-__all__ = ["PiController", "NodePowerCapper", "CapperTelemetry"]
+__all__ = ["PiController", "NodePowerCapper", "CapperTelemetry", "SensorWatchdog"]
+
+
+class SensorWatchdog:
+    """Staleness tracking for the capper's sensor streams.
+
+    The production controller must keep a safe cap when telemetry goes
+    silent (gateway crash, broker outage, sensor dropout).  The watchdog
+    remembers the last sample per source and classifies each source as
+    *fresh* (sampled within ``stale_after_s``), *stale* (hold the last
+    value), or — once every source has been silent for
+    ``failsafe_after_s`` — demands the fail-safe cap.
+    """
+
+    def __init__(self, stale_after_s: float, failsafe_after_s: float):
+        if stale_after_s <= 0 or failsafe_after_s < stale_after_s:
+            raise ValueError("need 0 < stale_after_s <= failsafe_after_s")
+        self.stale_after_s = float(stale_after_s)
+        self.failsafe_after_s = float(failsafe_after_s)
+        self._last: dict[Any, tuple[float, float]] = {}
+
+    def update(self, source: Any, t_s: float, value_w: float) -> None:
+        """Record one sample from ``source``."""
+        self._last[source] = (float(t_s), float(value_w))
+
+    def value(self, source: Any) -> Optional[float]:
+        """Last known value for ``source`` (hold-last), or None."""
+        entry = self._last.get(source)
+        return entry[1] if entry is not None else None
+
+    def total_w(self, now_s: float) -> float:
+        """Sum of last-known values across sources (hold-last-sample)."""
+        return float(sum(v for _, v in self._last.values()))
+
+    def stale_sources(self, now_s: float) -> list[Any]:
+        """Sources silent for longer than ``stale_after_s``."""
+        return [s for s, (t, _) in self._last.items() if now_s - t > self.stale_after_s]
+
+    def all_silent(self, now_s: float) -> bool:
+        """True when *every* source has gone quiet beyond the fail-safe
+        horizon (or nothing has ever reported) — fly blind, cap deep."""
+        if not self._last:
+            return True
+        return all(now_s - t > self.failsafe_after_s for t, _ in self._last.values())
 
 
 class PiController:
@@ -98,7 +141,14 @@ class NodePowerCapper:
         ki: float = 2.0,
         sensor_noise_w: float = 2.0,
         rng: np.random.Generator | None = None,
+        failsafe_cap_w: Optional[float] = None,
+        failsafe_after_s: Optional[float] = None,
     ):
+        """``failsafe_cap_w`` is the deep protective cap applied once the
+        sensor stream has been silent for ``failsafe_after_s`` (defaults:
+        80 % of setpoint, after 5 control periods).  Until then the
+        controller freezes (holds the last commanded cap) rather than
+        integrating on phantom error."""
         if setpoint_w <= 0 or control_period_s <= 0:
             raise ValueError("setpoint and period must be positive")
         self.node = node
@@ -106,6 +156,11 @@ class NodePowerCapper:
         self.control_period_s = float(control_period_s)
         self.sensor_noise_w = float(sensor_noise_w)
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.failsafe_cap_w = float(failsafe_cap_w) if failsafe_cap_w is not None else setpoint_w * 0.8
+        self.failsafe_after_s = (
+            float(failsafe_after_s) if failsafe_after_s is not None else 5 * self.control_period_s
+        )
+        self.failsafe_engagements = 0
         # The PI output is a *cap adjustment* around the setpoint; the
         # actuator saturates between a deep trim and nameplate.
         self.pi = PiController(
@@ -117,11 +172,19 @@ class NodePowerCapper:
         self,
         duration_s: float,
         utilization_fn: Optional[Callable[[float], tuple[float, float]]] = None,
+        sensor_ok_fn: Optional[Callable[[float], bool]] = None,
     ) -> CapperTelemetry:
         """Drive the loop for ``duration_s``.
 
         ``utilization_fn(t)`` returns (cpu_util, gpu_util) at time t,
         letting tests exercise workload steps; defaults to flat-out.
+
+        ``sensor_ok_fn(t)`` models the sensor stream's health (False =
+        no sample arrived this period).  While samples are missing the
+        controller degrades gracefully: it holds the last commanded cap
+        (no PI update — integrating a phantom error would wind up), and
+        once the silence outlasts ``failsafe_after_s`` it drops to the
+        protective ``failsafe_cap_w`` until telemetry returns.
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -130,14 +193,34 @@ class NodePowerCapper:
         measured = np.empty(n)
         commanded = np.empty(n)
         achieved = np.empty(n)
+        last_cap = self.setpoint_w
+        last_sample_t = 0.0
+        in_failsafe = False
         for i, t in enumerate(t_arr):
-            cpu_u, gpu_u = (1.0, 1.0) if utilization_fn is None else utilization_fn(float(t))
+            t = float(t)
+            cpu_u, gpu_u = (1.0, 1.0) if utilization_fn is None else utilization_fn(t)
             self.node.set_utilization(cpu=cpu_u, gpu=gpu_u, memory_intensity=max(cpu_u, gpu_u))
             raw = self.node.power_w()
-            meas = raw + float(self.rng.normal(0.0, self.sensor_noise_w))
-            adjustment = self.pi.update(meas, self.control_period_s)
-            cap = self.setpoint_w + adjustment
+            sensor_ok = sensor_ok_fn is None or sensor_ok_fn(t)
+            if sensor_ok:
+                meas = raw + float(self.rng.normal(0.0, self.sensor_noise_w))
+                adjustment = self.pi.update(meas, self.control_period_s)
+                cap = self.setpoint_w + adjustment
+                last_sample_t = t
+                if in_failsafe:
+                    in_failsafe = False
+                    self.pi.reset()  # re-enter the loop without stale windup
+            elif t - last_sample_t > self.failsafe_after_s:
+                meas = float("nan")
+                cap = self.failsafe_cap_w
+                if not in_failsafe:
+                    in_failsafe = True
+                    self.failsafe_engagements += 1
+            else:
+                meas = float("nan")
+                cap = last_cap  # hold-last-cap through short gaps
             self.node.apply_power_cap(max(cap, 1.0))
+            last_cap = cap
             measured[i] = meas
             commanded[i] = cap
             achieved[i] = self.node.power_w()

@@ -1,0 +1,41 @@
+"""Deterministic fault injection, resilience drills, invariant checking.
+
+The production story of the paper's cluster — always-on monitoring,
+power capping and scheduling that must ride through component failures —
+is exercised here: :mod:`.injector` schedules seeded, reproducible
+faults onto the simulation kernel; :mod:`.invariants` audits cluster-wide
+properties while they land; :mod:`.drill` wires both into a full-stack
+16-node scenario harness.
+"""
+
+from .drill import DrillConfig, DrillReport, FaultDrill
+from .injector import FaultInjector, FaultKind, FaultSpec
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+    all_jobs_completed,
+    cap_respected,
+    energy_ledger_balances,
+    monotonic_time_hooks,
+    node_timestamps_monotonic,
+    requeued_jobs_completed,
+)
+
+__all__ = [
+    "DrillConfig",
+    "DrillReport",
+    "FaultDrill",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "all_jobs_completed",
+    "cap_respected",
+    "energy_ledger_balances",
+    "monotonic_time_hooks",
+    "node_timestamps_monotonic",
+    "requeued_jobs_completed",
+]

@@ -124,18 +124,49 @@ class RackLevelSupply:
         self.n_psus = n_psus
         self.min_active = min_active
         self.target_load = target_load
+        self._failed = 0
+
+    # -- failure injection ---------------------------------------------------
+    @property
+    def failed_psus(self) -> int:
+        """Supplies currently dead (fault injection / field failures)."""
+        return self._failed
+
+    @property
+    def available_psus(self) -> int:
+        """Supplies the shelf can still enable."""
+        return self.n_psus - self._failed
+
+    def fail_psu(self) -> int:
+        """One supply dies; returns the remaining available count.
+
+        The shelf must keep at least one live supply — losing the last
+        one is a rack-down event the model treats as an error.
+        """
+        if self.available_psus <= 1:
+            raise ValueError("cannot fail the last live PSU (rack would go dark)")
+        self._failed += 1
+        return self.available_psus
+
+    def restore_psu(self) -> int:
+        """A replaced supply comes back; returns the available count."""
+        if self._failed == 0:
+            raise ValueError("no failed PSU to restore")
+        self._failed -= 1
+        return self.available_psus
 
     @property
     def capacity_w(self) -> float:
-        """Shelf output capacity."""
-        return self.n_psus * self.psu.rating_w
+        """Shelf output capacity (live supplies only)."""
+        return self.available_psus * self.psu.rating_w
 
     def active_psus(self, dc_load_w: float) -> int:
         """How many supplies the shelf enables for ``dc_load_w``."""
         if dc_load_w < 0:
             raise ValueError("load must be non-negative")
         needed = int(np.ceil(dc_load_w / (self.psu.rating_w * self.target_load)))
-        return int(np.clip(max(needed, self.min_active), self.min_active, self.n_psus))
+        lo = min(self.min_active, self.available_psus)
+        return int(np.clip(max(needed, lo), lo, self.available_psus))
 
     def input_power_w(self, node_loads_w: list[float] | np.ndarray) -> float:
         """Facility AC power for the rack's aggregate DC load."""

@@ -14,6 +14,7 @@ from .daemon import CappingAgent, GatewayDaemon
 from .gateway import EnergyGateway, GatewayConfig
 from .insight import EfficiencyAuditor, Finding, HazardDetector, PowerAnomalyDetector
 from .mqtt import (
+    BrokerUnavailableError,
     Message,
     MqttBroker,
     MqttClient,
@@ -27,6 +28,7 @@ from .powerapi import Attribute, NodeObject, PlatformObject, PwrObject, make_pla
 __all__ = [
     "ArduPowerMonitor",
     "Attribute",
+    "BrokerUnavailableError",
     "CappingAgent",
     "EfficiencyAuditor",
     "EnergyGateway",

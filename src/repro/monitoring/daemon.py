@@ -18,19 +18,33 @@ exactly like the real components.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
 
 import numpy as np
 
 from ..hardware.node import ComputeNode
 from ..sim.engine import Environment
-from .mqtt import Message, MqttBroker, MqttClient
+from .mqtt import BrokerUnavailableError, Message, MqttBroker, MqttClient
 
 __all__ = ["GatewayDaemon", "CappingAgent"]
 
+#: Maps (now_s, measured_w) -> perturbed reading, or None to drop the
+#: sample entirely (sensor dropout).  Installed by the fault injector.
+SensorFault = Callable[[float, float], Optional[float]]
+
 
 class GatewayDaemon:
-    """Periodic out-of-band sampling of one node, published over MQTT."""
+    """Periodic out-of-band sampling of one node, published over MQTT.
+
+    The daemon is the store-and-forward end of the telemetry pipeline:
+    when the broker is unreachable it buffers samples in a bounded local
+    queue (dropping the *oldest* first, like the BBB firmware's ring
+    buffer) and probes for reconnection with exponential backoff.  On
+    reconnect the backlog is re-published in order before live sampling
+    resumes, so a broker outage costs latency, not joules.
+    """
 
     def __init__(
         self,
@@ -41,9 +55,18 @@ class GatewayDaemon:
         sensor_noise_w: float = 2.0,
         topic_prefix: str = "davide",
         rng: np.random.Generator | None = None,
+        buffer_limit: int = 4096,
+        retry_backoff_s: float = 0.5,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 8.0,
+        clock: Optional[Callable[[float], float]] = None,
     ):
+        """``clock`` maps true simulated time to the gateway's stamped
+        time (the PTP-disciplined clock; identity by default)."""
         if period_s <= 0:
             raise ValueError("period must be positive")
+        if buffer_limit < 1 or retry_backoff_s <= 0 or backoff_factor < 1 or max_backoff_s < retry_backoff_s:
+            raise ValueError("invalid resilience parameters")
         self.env = env
         self.node = node
         self.period_s = float(period_s)
@@ -52,17 +75,83 @@ class GatewayDaemon:
         self.client: MqttClient = broker.connect(f"eg-daemon-{node.node_id}")
         self.topic = f"{topic_prefix}/node{node.node_id}/power/node"
         self.samples_published = 0
+        # -- resilience state --------------------------------------------------
+        self.buffer_limit = int(buffer_limit)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.max_backoff_s = float(max_backoff_s)
+        self._buffer: Deque[dict] = deque()
+        self.buffered_count = 0
+        self.buffer_dropped_count = 0
+        self.republished_count = 0
+        self.reconnects = 0
+        self.samples_dropped_by_sensor = 0
+        self.clock: Callable[[float], float] = clock if clock is not None else (lambda t: t)
+        #: Fault-injection hook; None = healthy sensor.
+        self.sensor_fault: Optional[SensorFault] = None
         self.process = env.process(self._run(), name=f"gateway-{node.node_id}")
+
+    @property
+    def backlog(self) -> int:
+        """Samples waiting locally for the broker to come back."""
+        return len(self._buffer)
+
+    def _sample(self) -> Optional[dict]:
+        measured = self.node.power_w() + float(self.rng.normal(0.0, self.sensor_noise_w))
+        if self.sensor_fault is not None:
+            faulted = self.sensor_fault(self.env.now, measured)
+            if faulted is None:
+                self.samples_dropped_by_sensor += 1
+                return None
+            measured = faulted
+        return {"node": self.node.node_id, "t": self.clock(self.env.now), "p": max(measured, 0.0)}
+
+    def _buffer_sample(self, payload: dict) -> None:
+        if len(self._buffer) >= self.buffer_limit:
+            self._buffer.popleft()
+            self.buffer_dropped_count += 1
+        self._buffer.append(payload)
+        self.buffered_count += 1
+
+    def _flush_buffer(self) -> None:
+        """Re-publish the backlog in order; raises if the broker drops again."""
+        while self._buffer:
+            payload = self._buffer[0]
+            self.client.publish(self.topic, payload, retain=True)
+            self._buffer.popleft()
+            self.republished_count += 1
+            self.samples_published += 1
 
     def _run(self):
         while True:
-            measured = self.node.power_w() + float(self.rng.normal(0.0, self.sensor_noise_w))
-            self.client.publish(
-                self.topic,
-                {"node": self.node.node_id, "t": self.env.now, "p": max(measured, 0.0)},
-                retain=True,
-            )
-            self.samples_published += 1
+            payload = self._sample()
+            if payload is not None:
+                try:
+                    if self._buffer:
+                        # Came back mid-backlog: drain oldest-first so the
+                        # TSDB sees samples in timestamp order.
+                        self._flush_buffer()
+                        self.reconnects += 1
+                    self.client.publish(self.topic, payload, retain=True)
+                    self.samples_published += 1
+                except BrokerUnavailableError:
+                    self._buffer_sample(payload)
+                    # Bounded exponential backoff while the broker is down;
+                    # keep sampling into the buffer at each probe so no
+                    # telemetry interval is unaccounted.
+                    backoff = self.retry_backoff_s
+                    while True:
+                        yield self.env.timeout(min(backoff, self.max_backoff_s))
+                        probe = self._sample()
+                        if probe is not None:
+                            self._buffer_sample(probe)
+                        try:
+                            self._flush_buffer()
+                        except BrokerUnavailableError:
+                            backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
+                            continue
+                        self.reconnects += 1
+                        break
             yield self.env.timeout(self.period_s)
 
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Iterable, Optional
 
 __all__ = [
+    "BrokerUnavailableError",
     "Message",
     "Subscription",
     "MqttBroker",
@@ -41,6 +42,14 @@ __all__ = [
     "validate_topic",
     "validate_filter",
 ]
+
+
+class BrokerUnavailableError(ConnectionError):
+    """Raised on publish while the broker is offline (outage injection).
+
+    Resilient publishers (the energy gateway daemon) catch this, buffer
+    locally, and re-publish after the broker comes back.
+    """
 
 
 def validate_topic(topic: str) -> None:
@@ -255,6 +264,24 @@ class MqttBroker:
         self._clock = clock if clock is not None else (lambda: 0.0)
         self.published_count = 0
         self.delivered_count = 0
+        self._online = True
+        self.rejected_count = 0
+
+    # -- availability (fault injection) ---------------------------------------
+    @property
+    def online(self) -> bool:
+        """Whether the broker accepts publishes (False during an outage)."""
+        return self._online
+
+    def set_online(self, online: bool) -> None:
+        """Take the broker down / bring it back (state is preserved).
+
+        An offline broker rejects publishes with
+        :class:`BrokerUnavailableError`; subscriptions, retained messages
+        and client inboxes survive the outage, matching a broker restart
+        with persistent sessions.
+        """
+        self._online = bool(online)
 
     # -- connection management ----------------------------------------------
     def connect(self, client_id: str, inbox_limit: int = 100_000) -> MqttClient:
@@ -311,6 +338,9 @@ class MqttBroker:
         A retained publish with ``payload is None`` clears the retained
         message for the topic (the MQTT zero-length-payload rule).
         """
+        if not self._online:
+            self.rejected_count += 1
+            raise BrokerUnavailableError(f"broker offline: cannot publish to {topic!r}")
         validate_topic(topic)
         if qos not in (0, 1):
             raise ValueError("supported QoS levels are 0 and 1")

@@ -10,7 +10,7 @@ from .policies import (
 from .fairshare import FairShareState, MultifactorPriority, PriorityScheduler
 from .plugins import LiveNodePower, SchedulerMonitorPlugin
 from .power_aware import PowerAwareScheduler, request_based_predictor
-from .simulate import ClusterSimulator, SimulationResult
+from .simulate import ClusterSimulator, NodeOutage, SimulationResult
 from .thermal_aware import (
     TimeVaryingBudgetScheduler,
     day_night_budget,
@@ -30,6 +30,7 @@ __all__ = [
     "JobState",
     "LiveNodePower",
     "MultifactorPriority",
+    "NodeOutage",
     "PriorityScheduler",
     "PowerAwareScheduler",
     "SchedulerContext",

@@ -87,6 +87,8 @@ class JobRecord:
     predicted_power_w: Optional[float] = None
     #: Accumulated slowdown from reactive capping (1.0 = never capped).
     stretch: float = 1.0
+    #: Times this job was killed by a node crash and requeued.
+    requeues: int = 0
 
     @property
     def wait_time_s(self) -> float:

@@ -23,6 +23,7 @@ exactly as the real machine's throttling does.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -32,7 +33,23 @@ from ..power.trace import PowerTrace
 from .job import Job, JobRecord, JobState
 from .policies import SchedulerContext, SchedulingPolicy
 
-__all__ = ["SimulationResult", "ClusterSimulator"]
+__all__ = ["NodeOutage", "SimulationResult", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One injected node failure: ``node_id`` dies at ``at_s`` and
+    rejoins the pool ``duration_s`` later (repaired / rebooted)."""
+
+    at_s: float
+    node_id: int
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.duration_s <= 0:
+            raise ValueError("outage times must be positive")
+        if self.node_id < 0:
+            raise ValueError("node id must be non-negative")
 
 
 @dataclass
@@ -56,6 +73,8 @@ class SimulationResult:
     overdemand_s: float
     #: Node-seconds actually used / node-seconds available over makespan.
     utilization: float
+    #: Job restarts forced by node crashes (0 without fault injection).
+    n_requeues: int = 0
 
     # -- QoS metrics ------------------------------------------------------------
     def mean_wait_s(self) -> float:
@@ -105,16 +124,25 @@ class ClusterSimulator:
         min_speed: float = 0.3,
         on_job_start=None,
         on_job_end=None,
+        node_outages: Sequence[NodeOutage] = (),
+        on_job_requeue=None,
     ):
         """``on_job_start(record)`` / ``on_job_end(record)`` fire at the
         corresponding lifecycle instants — the hook the Fig.-4 scheduler
-        monitoring plugin attaches to."""
+        monitoring plugin attaches to.  ``node_outages`` injects node
+        crashes: a crashed node's job is killed and requeued (restarting
+        from scratch, its burnt joules staying on its record), the node is
+        excluded from dispatch until it rejoins, and ``on_job_requeue(rec)``
+        fires for each kill."""
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if reactive_cap_w is not None and reactive_cap_w <= 0:
             raise ValueError("reactive cap must be positive")
         if not 0 < min_speed <= 1:
             raise ValueError("min speed must lie in (0, 1]")
+        for outage in node_outages:
+            if outage.node_id >= n_nodes:
+                raise ValueError(f"outage targets node {outage.node_id} of {n_nodes}")
         self.n_nodes = n_nodes
         self.policy = policy
         self.idle_node_power_w = float(idle_node_power_w)
@@ -123,15 +151,20 @@ class ClusterSimulator:
         self.min_speed = float(min_speed)
         self.on_job_start = on_job_start
         self.on_job_end = on_job_end
+        self.node_outages = tuple(sorted(node_outages, key=lambda o: (o.at_s, o.node_id)))
+        self.on_job_requeue = on_job_requeue
 
     # -- power resolution ----------------------------------------------------------
-    def _resolve_power(self, running: list[_Running]) -> tuple[float, float]:
+    def _resolve_power(self, running: list[_Running], n_alive: int | None = None) -> tuple[float, float]:
         """Apply the reactive trim; returns (system power, raw demand).
 
-        Mutates each running job's granted power and speed.
+        Mutates each running job's granted power and speed.  ``n_alive``
+        is the number of powered-on nodes (crashed nodes draw nothing).
         """
+        if n_alive is None:
+            n_alive = self.n_nodes
         busy_nodes = sum(r.record.job.n_nodes for r in running)
-        idle_power = (self.n_nodes - busy_nodes) * self.idle_node_power_w
+        idle_power = (n_alive - busy_nodes) * self.idle_node_power_w
         demand = idle_power
         for r in running:
             r.granted_power_w = r.record.job.true_power_w
@@ -178,6 +211,10 @@ class ClusterSimulator:
         submit_idx = 0
         n_jobs = len(pending)
         completed = 0
+        down_nodes: set[int] = set()
+        outage_idx = 0
+        recoveries: list[tuple[float, int]] = []  # heap of (rejoin time, node)
+        n_requeues = 0
 
         def try_start() -> None:
             nonlocal free_nodes
@@ -187,7 +224,7 @@ class ClusterSimulator:
                 now_s=now,
                 free_nodes=tuple(sorted(free_nodes)),
                 running=tuple(r.record for r in running),
-                total_nodes=self.n_nodes,
+                total_nodes=self.n_nodes - len(down_nodes),
                 system_power_w=trace_p[-1] if trace_p else self.n_nodes * self.idle_node_power_w,
                 power_budget_w=self.reactive_cap_w,
             )
@@ -208,14 +245,19 @@ class ClusterSimulator:
                     self.on_job_start(rec)
 
         while completed < n_jobs:
-            system_power, demand = self._resolve_power(running)
-            # Next event: submission or earliest completion.
+            system_power, demand = self._resolve_power(running, self.n_nodes - len(down_nodes))
+            # Next event: submission, earliest completion, crash or repair.
             t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else np.inf
             t_complete = np.inf
             for r in running:
                 eta = now + r.remaining_work_s / r.speed
                 t_complete = min(t_complete, eta)
-            t_next = min(t_submit, t_complete)
+            t_crash = (
+                self.node_outages[outage_idx].at_s
+                if outage_idx < len(self.node_outages) else np.inf
+            )
+            t_repair = recoveries[0][0] if recoveries else np.inf
+            t_next = min(t_submit, t_complete, t_crash, t_repair)
             if not np.isfinite(t_next):
                 raise RuntimeError("simulation stalled: jobs pending but nothing can run")
             dt = t_next - now
@@ -233,7 +275,8 @@ class ClusterSimulator:
                         # Accumulate stretch as elapsed/progress ratio.
                         r.record.stretch = max(r.record.stretch, 1.0 / r.speed)
             now = t_next
-            # Completions.
+            # Completions (a job finishing exactly at a crash instant wins:
+            # its work is done before the node dies).
             finished = [r for r in running if r.remaining_work_s <= 1e-9]
             for r in finished:
                 running.remove(r)
@@ -243,6 +286,45 @@ class ClusterSimulator:
                 completed += 1
                 if self.on_job_end is not None:
                     self.on_job_end(r.record)
+            # Node repairs: the node rejoins the free pool.
+            while recoveries and recoveries[0][0] <= now + 1e-12:
+                _, node_id = heapq.heappop(recoveries)
+                down_nodes.discard(node_id)
+                free_nodes.add(node_id)
+            # Node crashes: kill + requeue the victim's job, fence the node.
+            while outage_idx < len(self.node_outages) and self.node_outages[outage_idx].at_s <= now + 1e-12:
+                outage = self.node_outages[outage_idx]
+                outage_idx += 1
+                node_id = outage.node_id
+                if node_id in down_nodes:
+                    # Overlapping outage on an already-dead node: extend.
+                    recoveries[:] = [
+                        (max(t, now + outage.duration_s), n) if n == node_id else (t, n)
+                        for t, n in recoveries
+                    ]
+                    heapq.heapify(recoveries)
+                    continue
+                down_nodes.add(node_id)
+                heapq.heappush(recoveries, (now + outage.duration_s, node_id))
+                if node_id in free_nodes:
+                    free_nodes.discard(node_id)
+                else:
+                    victim = next((r for r in running if node_id in r.record.nodes), None)
+                    if victim is not None:
+                        running.remove(victim)
+                        rec = victim.record
+                        # Surviving nodes of the allocation return to the
+                        # pool; the crashed one stays fenced.
+                        free_nodes |= set(rec.nodes) - {node_id}
+                        rec.state = JobState.PENDING
+                        rec.nodes = ()
+                        rec.start_time_s = None
+                        rec.requeues += 1
+                        n_requeues += 1
+                        queue.append(rec)
+                        queue.sort(key=lambda q: (q.job.submit_time_s, q.job.job_id))
+                        if self.on_job_requeue is not None:
+                            self.on_job_requeue(rec)
             # Submissions.
             while submit_idx < n_jobs and pending[submit_idx].submit_time_s <= now + 1e-12:
                 queue.append(records[pending[submit_idx].job_id])
@@ -263,4 +345,5 @@ class ClusterSimulator:
             cap_w=self.reactive_cap_w,
             overdemand_s=overdemand_s,
             utilization=util,
+            n_requeues=n_requeues,
         )

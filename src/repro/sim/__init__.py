@@ -6,6 +6,7 @@ from .engine import (
     Environment,
     Event,
     Interrupt,
+    KernelHooks,
     Process,
     SimulationError,
     Timeout,
@@ -19,6 +20,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "KernelHooks",
     "Process",
     "Request",
     "Resource",

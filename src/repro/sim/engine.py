@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -28,12 +29,35 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
+    "KernelHooks",
     "SimulationError",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+@dataclass
+class KernelHooks:
+    """Lightweight observation points on the simulation kernel.
+
+    External tooling (tracers, fault injectors, invariant checkers)
+    attaches here instead of monkey-patching the engine.  Every field is
+    optional; ``None`` hooks cost a single attribute check per event, so
+    a hookless environment behaves exactly as before.
+
+    * ``on_schedule(event, at_s)`` — an event was pushed onto the queue
+      to fire at simulated time ``at_s``;
+    * ``on_dispatch(event, now_s)`` — the event was popped and the clock
+      advanced to ``now_s``, just before its callbacks run;
+    * ``on_error(exc, event, now_s)`` — an event failed and no waiter
+      defused it; called immediately before the failure propagates.
+    """
+
+    on_schedule: Optional[Callable[["Event", float], None]] = None
+    on_dispatch: Optional[Callable[["Event", float], None]] = None
+    on_error: Optional[Callable[[BaseException, "Event", float], None]] = None
 
 
 class Interrupt(Exception):
@@ -253,6 +277,17 @@ class Process(Event):
 
     # -- engine plumbing ----------------------------------------------------
     def _resume_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            # The victim finished between the interrupt() call and the
+            # delivery of the interrupt event (e.g. a double interrupt, or
+            # completion scheduled earlier at the same timestamp).  Throwing
+            # into the exhausted generator would surface as a baffling
+            # "already triggered" failure from Event.fail; name the real
+            # problem instead.
+            raise SimulationError(
+                f"Interrupt(cause={event._value.cause!r}) delivered to "
+                f"already-completed process {self.name!r}"
+            )
         self._step(lambda: self._generator.throw(event._value))
 
     def _resume(self, event: Event) -> None:
@@ -293,10 +328,15 @@ class Process(Event):
 class Environment:
     """The simulation clock plus the pending-event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, hooks: Optional[KernelHooks] = None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self.hooks = hooks
+
+    def attach_hooks(self, hooks: KernelHooks) -> None:
+        """Install (or replace) the kernel observation hooks."""
+        self.hooks = hooks
 
     @property
     def now(self) -> float:
@@ -326,7 +366,10 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        at = self._now + delay
+        heapq.heappush(self._queue, (at, next(self._counter), event))
+        if self.hooks is not None and self.hooks.on_schedule is not None:
+            self.hooks.on_schedule(event, at)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -338,11 +381,15 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        if self.hooks is not None and self.hooks.on_dispatch is not None:
+            self.hooks.on_dispatch(event, when)
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
+            if self.hooks is not None and self.hooks.on_error is not None:
+                self.hooks.on_error(event._value, event, self._now)
             raise event._value  # unhandled failure propagates to the caller
 
     def run(self, until: Optional[float | Event] = None) -> Any:

@@ -1,6 +1,7 @@
 """Telemetry: time-series DB, energy accounting, phase-correlating profiler."""
 
 from .accounting import EnergyAccountant, JobEnergyBill, UserStatement
+from .eventlog import TelemetryEvent, TelemetryEventLog
 from .events import EventCorrelator, EventTrace, events_from_execution
 from .profiler import PhaseMarker, PowerProfiler, RegionProfile
 from .tsdb import SeriesKey, TimeSeriesDB
@@ -11,6 +12,8 @@ __all__ = [
     "EventTrace",
     "JobEnergyBill",
     "PhaseMarker",
+    "TelemetryEvent",
+    "TelemetryEventLog",
     "events_from_execution",
     "PowerProfiler",
     "RegionProfile",

@@ -8,6 +8,7 @@ from repro.sim import (
     Environment,
     Event,
     Interrupt,
+    KernelHooks,
     SimulationError,
     Timeout,
 )
@@ -286,3 +287,89 @@ class TestRunSemantics:
         env = Environment()
         env.run(until=7.0)
         assert env.now == 7.0
+
+
+class TestKernelHooks:
+    def test_schedule_and_dispatch_hooks_fire_for_every_event(self):
+        scheduled, dispatched = [], []
+        hooks = KernelHooks(
+            on_schedule=lambda ev, at: scheduled.append(at),
+            on_dispatch=lambda ev, now: dispatched.append(now),
+        )
+        env = Environment(hooks=hooks)
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+
+        env.process(proc())
+        env.run()
+        # Every dispatched event was scheduled first.
+        assert len(scheduled) >= len(dispatched) > 0
+        # Dispatch times are the kernel clock: non-decreasing.
+        assert dispatched == sorted(dispatched)
+        assert dispatched[-1] == 3.0
+
+    def test_on_error_hook_sees_unhandled_failure(self):
+        errors = []
+        env = Environment(hooks=KernelHooks(on_error=lambda exc, ev, now: errors.append((type(exc), now))))
+        evt = env.event()
+        evt.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            env.run()
+        assert errors == [(ValueError, 0.0)]
+
+    def test_attach_hooks_after_construction(self):
+        env = Environment()
+        seen = []
+        env.attach_hooks(KernelHooks(on_dispatch=lambda ev, now: seen.append(now)))
+        env.timeout(4.0)
+        env.run()
+        assert seen == [4.0]
+
+    def test_hookless_behaviour_unchanged(self):
+        def proc(env):
+            a = yield env.timeout(1.0, "a")
+            b = yield env.timeout(2.0, "b")
+            return (a, b, env.now)
+
+        bare = Environment()
+        hooked = Environment(hooks=KernelHooks())
+        p1 = bare.process(proc(bare))
+        p2 = hooked.process(proc(hooked))
+        assert bare.run(until=p1) == hooked.run(until=p2) == ("a", "b", 3.0)
+
+
+class TestInterruptAfterCompletion:
+    def test_double_interrupt_surfaces_clear_error(self):
+        """A second Interrupt delivered after the victim already finished
+        must raise a SimulationError naming the completed process, not a
+        confusing double-trigger / generator error."""
+        env = Environment()
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                return "handled"  # finishes on the first interrupt
+
+        def attacker(target):
+            yield env.timeout(1.0)
+            target.interrupt("first")
+            target.interrupt("second")  # victim will be done when this lands
+
+        v = env.process(victim(), name="victim")
+        env.process(attacker(v))
+        with pytest.raises(SimulationError, match="already-completed process 'victim'"):
+            env.run()
+
+    def test_interrupt_finished_process_still_rejected_at_call_time(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError, match="cannot interrupt finished"):
+            p.interrupt()
