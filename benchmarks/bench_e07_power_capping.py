@@ -39,13 +39,13 @@ def _three_way(jobs):
     runs = {}
     runs["uncapped (EASY)"] = ClusterSimulator(N_NODES, EasyBackfillScheduler()).run(jobs)
     runs["reactive only"] = ClusterSimulator(
-        N_NODES, EasyBackfillScheduler(), reactive_cap_w=BUDGET_W
+        N_NODES, EasyBackfillScheduler(), cap_w=BUDGET_W
     ).run(jobs)
     runs["proactive only"] = ClusterSimulator(
         N_NODES, PowerAwareScheduler(BUDGET_W, predictor=oracle)
     ).run(jobs)
     runs["combined"] = ClusterSimulator(
-        N_NODES, PowerAwareScheduler(BUDGET_W, predictor=oracle), reactive_cap_w=BUDGET_W
+        N_NODES, PowerAwareScheduler(BUDGET_W, predictor=oracle), cap_w=BUDGET_W
     ).run(jobs)
     return runs
 
@@ -87,7 +87,7 @@ def _predictor_sweep(jobs):
     }
     return {
         name: ClusterSimulator(
-            N_NODES, PowerAwareScheduler(BUDGET_W, predictor=p), reactive_cap_w=BUDGET_W
+            N_NODES, PowerAwareScheduler(BUDGET_W, predictor=p), cap_w=BUDGET_W
         ).run(test)
         for name, p in predictors.items()
     }

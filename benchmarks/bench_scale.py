@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Scale sweep of the simulation hot path: per-sample vs batched telemetry.
+
+Runs the two scenario families that dominate wall-clock in this repo —
+the cluster-wide fault drill (gateways + MQTT + capper + dispatcher on
+the kernel) and power-capped scheduling — across node counts, and
+records for each run:
+
+* wall-clock seconds and simulated seconds (→ sim-seconds per
+  wall-second, the headline throughput number);
+* kernel events scheduled (→ events/s);
+* peak RSS (``ru_maxrss``; cumulative high-water mark for the process,
+  recorded after each run);
+* the telemetry event-log digest, to prove the vectorized
+  :class:`~repro.monitoring.GatewayArray` path replays the per-daemon
+  path byte-for-byte at equal seeds.
+
+The drill campaign deliberately keeps the sensor dropout clear of the
+broker outage — the one scenario where per-daemon backoff schedules
+diverge and batched equivalence is documented not to hold.
+
+Run:  python benchmarks/bench_scale.py [--nodes 16,64,256,1024]
+                                       [--out BENCH_scale.json]
+
+Writes ``BENCH_scale.json`` next to the repo root by default and prints
+a summary table, including the batched-vs-per-sample speedup at each
+node count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import ClusterBuilder  # noqa: E402
+from repro.faults import FaultKind, FaultSpec  # noqa: E402
+from repro.scheduler import EasyBackfillScheduler, WorkloadConfig, WorkloadGenerator  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+SEED = 2026
+#: Per-node budget share: enough headroom over the 300 W idle floor that
+#: the drill exercises capping without pinning every node at min trim.
+BUDGET_PER_NODE_W = 875.0
+
+
+def drill_campaign(n_nodes: int) -> list[FaultSpec]:
+    """One of every fault kind, scaled to the cluster size.
+
+    Sensor dropout (100–108 s) never overlaps the broker outage
+    (40–54 s): during an outage every daemon backs off in lockstep, and
+    a dropout at that moment would desynchronize their probe schedules —
+    the documented exception to batched equivalence.
+    """
+    return [
+        FaultSpec(FaultKind.NODE_CRASH, at_s=25.0, duration_s=30.0, target=3 % n_nodes),
+        FaultSpec(FaultKind.BROKER_OUTAGE, at_s=40.0, duration_s=14.0),
+        FaultSpec(FaultKind.SENSOR_SPIKE, at_s=60.0, duration_s=8.0,
+                  target=5 % n_nodes, magnitude=900.0),
+        FaultSpec(FaultKind.PSU_FAILURE, at_s=70.0, duration_s=40.0),
+        FaultSpec(FaultKind.CLOCK_DRIFT, at_s=80.0, duration_s=25.0,
+                  target=7 % n_nodes, magnitude=2e-4),
+        FaultSpec(FaultKind.SENSOR_DROPOUT, at_s=100.0, duration_s=8.0,
+                  target=9 % n_nodes),
+    ]
+
+
+def peak_rss_mb() -> float:
+    """Process high-water-mark RSS in MiB (Linux reports KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_drill(n_nodes: int, batched: bool) -> dict:
+    """One fault-drill run; returns the measurement record."""
+    budget_w = BUDGET_PER_NODE_W * n_nodes
+    builder = (
+        ClusterBuilder(n_nodes=n_nodes, seed=SEED)
+        .with_gateways(period_s=1.0, batched=batched)
+        .with_scheduler(cap_w=budget_w)
+        # Scale the rack shelf with the budget (default ratio 18/14):
+        # one PSU loss still covers the budget, two force a retarget.
+        .with_faults(shelf_psu_rating_w=budget_w * 3.0 / 14.0)
+    )
+    drill = builder.build_drill()
+    t0 = time.perf_counter()
+    report = drill.run(faults=drill_campaign(n_nodes))
+    wall_s = time.perf_counter() - t0
+    sim_s = drill.env.now
+    events = drill.env._counter
+    return {
+        "scenario": "fault_drill",
+        "mode": "batched" if batched else "per_sample",
+        "n_nodes": n_nodes,
+        "wall_s": round(wall_s, 4),
+        "sim_s": round(sim_s, 3),
+        "sim_s_per_wall_s": round(sim_s / wall_s, 2),
+        "events": events,
+        "events_per_s": round(events / wall_s, 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "log_digest": report.summary["log_digest"],
+        "violations": report.summary["violations"],
+    }
+
+
+def run_scheduling(n_nodes: int) -> dict:
+    """One power-capped scheduling run (no telemetry daemons)."""
+    jobs = WorkloadGenerator(
+        WorkloadConfig(n_jobs=max(100, 2 * n_nodes), cluster_nodes=n_nodes,
+                       load_factor=1.15),
+        rng=np.random.default_rng(SEED),
+    ).generate()
+    sim = (
+        ClusterBuilder(n_nodes=n_nodes)
+        .with_scheduler(EasyBackfillScheduler(), cap_w=BUDGET_PER_NODE_W * n_nodes)
+        .build_simulator()
+    )
+    t0 = time.perf_counter()
+    result = sim.run(jobs)
+    wall_s = time.perf_counter() - t0
+    makespan = float(result.makespan_s)
+    return {
+        "scenario": "capped_scheduling",
+        "mode": "event_driven",
+        "n_nodes": n_nodes,
+        "n_jobs": len(jobs),
+        "wall_s": round(wall_s, 4),
+        "sim_s": round(makespan, 1),
+        "sim_s_per_wall_s": round(makespan / wall_s, 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "peak_power_w": round(result.peak_power_w(), 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", default="16,64,256,1024",
+                        help="comma-separated node counts to sweep")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_scale.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--skip-scheduling", action="store_true",
+                        help="only run the fault-drill sweep")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE.json",
+                        help="fail if the batched speedup regressed vs this "
+                             "baseline report (ratio-of-ratios, so runner "
+                             "speed cancels out)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup regression (default 0.20)")
+    args = parser.parse_args(argv)
+    node_counts = [int(n) for n in args.nodes.split(",") if n]
+
+    runs: list[dict] = []
+    speedups: dict[str, float] = {}
+    digests_equal: dict[str, bool] = {}
+    for n in node_counts:
+        per = run_drill(n, batched=False)
+        bat = run_drill(n, batched=True)
+        runs += [per, bat]
+        speedup = bat["sim_s_per_wall_s"] / per["sim_s_per_wall_s"]
+        speedups[str(n)] = round(speedup, 2)
+        digests_equal[str(n)] = per["log_digest"] == bat["log_digest"]
+        print(f"drill n={n:5d}: per-sample {per['sim_s_per_wall_s']:8.1f} sim-s/s, "
+              f"batched {bat['sim_s_per_wall_s']:8.1f} sim-s/s -> {speedup:5.2f}x "
+              f"(digests {'EQUAL' if digests_equal[str(n)] else 'DIFFER'})")
+        if not args.skip_scheduling:
+            sched = run_scheduling(n)
+            runs.append(sched)
+            print(f"sched n={n:5d}: {sched['sim_s_per_wall_s']:8.1f} sim-s/s, "
+                  f"{sched['n_jobs']} jobs, peak {sched['peak_power_w'] / 1e3:.1f} kW")
+
+    report = {
+        "seed": SEED,
+        "node_counts": node_counts,
+        "runs": runs,
+        "batched_speedup_by_nodes": speedups,
+        "digests_equal_by_nodes": digests_equal,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    ok = all(digests_equal.values())
+    if not ok:
+        print("ERROR: batched and per-sample telemetry digests diverged", file=sys.stderr)
+
+    if args.check_against:
+        baseline = json.loads(Path(args.check_against).read_text())
+        base_speedups = baseline.get("batched_speedup_by_nodes", {})
+        for key, measured in speedups.items():
+            expected = base_speedups.get(key)
+            if expected is None:
+                continue
+            floor = expected * (1.0 - args.tolerance)
+            status = "ok" if measured >= floor else "REGRESSED"
+            print(f"speedup check n={key}: measured {measured:.2f}x vs baseline "
+                  f"{expected:.2f}x (floor {floor:.2f}x) -> {status}")
+            if measured < floor:
+                ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

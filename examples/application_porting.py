@@ -11,8 +11,8 @@ Run:  python examples/application_porting.py
 """
 
 from repro.apps import ALL_APPS, ExecutionPlatform
+from repro.cluster import ClusterBuilder
 from repro.energyapi import ComponentConfig, NodeEnergyApi, TradeoffRecorder
-from repro.hardware import ComputeNode
 
 
 def porting_study() -> None:
@@ -60,8 +60,9 @@ def node_shaping() -> None:
         "2 GPUs, 4 cores": ComponentConfig(gpus_needed=2, active_cores_per_cpu=4),
         "CPU-only": ComponentConfig(gpus_needed=0),
     }
+    builder = ClusterBuilder(n_nodes=1)
     for label, config in shapes.items():
-        node = ComputeNode()
+        node = builder.build_nodes()[0]
         api = NodeEnergyApi(node)
         node.set_utilization(cpu=0.3, gpu=1.0 if "GPU" not in label else 0.5,
                              memory_intensity=0.4)

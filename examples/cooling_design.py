@@ -22,12 +22,12 @@ from repro.cooling import (
     dew_point_c,
     heat_split_for_rack,
 )
-from repro.hardware import Rack
+from repro.cluster import ClusterBuilder
 
 
 def main() -> None:
     # A full-load rack.
-    rack = Rack()
+    rack = ClusterBuilder().build_rack()
     for n in rack.nodes:
         n.set_utilization(cpu=1.0, gpu=1.0, memory_intensity=1.0)
     split = heat_split_for_rack(rack)

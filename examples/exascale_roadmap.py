@@ -12,10 +12,16 @@ Run:  python examples/exascale_roadmap.py
 """
 
 from repro.analysis import TcoModel, project_exascale
+from repro.cluster import ClusterBuilder
 
 
 def main() -> None:
-    print("Exascale projections from the Garrison building block")
+    # The building block the projections scale from: the pilot machine.
+    pilot = ClusterBuilder().build_hardware()
+    print(f"building block: {pilot.spec.name} — {pilot.n_nodes} nodes, "
+          f"{pilot.nameplate_flops / 1e15:.2f} PFlops nameplate, "
+          f"{pilot.energy_efficiency_flops_per_w() / 1e9:.1f} GFlops/W")
+    print("\nExascale projections from the Garrison building block")
     print("(1 EFlops sustained target, 75% Linpack efficiency)\n")
     header = f"{'scenario':30s} {'nodes':>8s} {'power':>9s} {'GF/W':>6s} {'20 MW?':>7s}"
     print(header)

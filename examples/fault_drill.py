@@ -20,7 +20,8 @@ summaries (and the SHA-256 of the canonical event log) are identical.
 Run:  python examples/fault_drill.py
 """
 
-from repro.faults import DrillConfig, FaultDrill, FaultKind, FaultSpec
+from repro.cluster import ClusterBuilder
+from repro.faults import FaultKind, FaultSpec
 
 SEED = 2026
 
@@ -35,7 +36,7 @@ CAMPAIGN = [
 
 
 def run_once() -> dict:
-    drill = FaultDrill(DrillConfig(seed=SEED, n_nodes=16))
+    drill = ClusterBuilder(n_nodes=16, seed=SEED).build_drill()
     report = drill.run(CAMPAIGN, extra_random_faults=3)
     return report.summary
 

@@ -6,44 +6,42 @@ this example runs them the way the deployed system does — as independent
 processes on the discrete-event kernel that interact *only through the
 MQTT bus*:
 
-* one :class:`GatewayDaemon` per node samples its busbar every 100 ms
-  and publishes;
+* one gateway per node samples its busbar every 100 ms and publishes
+  (the :class:`~repro.cluster.ClusterBuilder` wires them up as a
+  :class:`~repro.monitoring.TelemetryPlane`);
 * one :class:`CappingAgent` per node subscribes to its own node's
   stream and actuates the firmware power cap when the set point is
   exceeded (with a realistic actuation delay);
 * a workload process steps nodes through busy/idle phases.
 
-Watch the caps engage as load arrives and release as it drains.
+Watch the caps engage as load arrives and release as it drains.  Pass
+``--batched`` to sample all nodes through the vectorized
+:class:`~repro.monitoring.GatewayArray` hot path instead — same bus
+traffic, one kernel event per tick.
 
-Run:  python examples/live_agents.py
+Run:  python examples/live_agents.py [--batched]
 """
 
-import numpy as np
+import sys
 
-from repro.hardware import ComputeNode
-from repro.monitoring import CappingAgent, GatewayDaemon, MqttBroker
-from repro.sim import Environment
+from repro.cluster import ClusterBuilder
 
 N_NODES = 6
 SETPOINT_W = 1500.0
 
 
-def main() -> None:
-    env = Environment()
-    broker = MqttBroker(clock=lambda: env.now)
-    nodes = [ComputeNode(node_id=i) for i in range(N_NODES)]
-    daemons = [
-        GatewayDaemon(env, n, broker, period_s=0.1, rng=np.random.default_rng(i))
-        for i, n in enumerate(nodes)
-    ]
-    agents = [
-        CappingAgent(env, n, broker, setpoint_w=SETPOINT_W, actuation_delay_s=0.05)
-        for n in nodes
-    ]
+def main(batched: bool = False) -> None:
+    live = (
+        ClusterBuilder(n_nodes=N_NODES)
+        .with_gateways(period_s=0.1, batched=batched)
+        .with_capping(cap_w=SETPOINT_W, actuation_delay_s=0.05)
+        .build_live()
+    )
+    env, nodes = live.env, live.nodes
 
     # A log subscriber so we can narrate what crossed the bus.
-    logbook = broker.connect("logbook")
-    logbook.subscribe("davide/+/power/node")
+    logbook = live.connect("logbook")
+    logbook.subscribe(live.telemetry.topic_filter)
 
     def workload():
         # Phase 1: half the nodes go flat out.
@@ -63,19 +61,18 @@ def main() -> None:
 
     def reporter():
         while True:
-            capped = sum(a.capped for a in agents)
-            total = sum(n.power_w() for n in nodes)
-            print(f"t={env.now:5.1f}s  fleet power {total:7.0f} W  "
-                  f"capped nodes {capped}/{N_NODES}")
+            print(f"t={env.now:5.1f}s  fleet power {live.total_power_w:7.0f} W  "
+                  f"capped nodes {live.capped_nodes}/{N_NODES}")
             yield env.timeout(1.0)
 
     env.process(reporter(), name="reporter")
-    env.run(until=9.5)
+    live.run(until=9.5)
 
-    print(f"\nbus traffic: {broker.published_count} samples published, "
-          f"{len(logbook.inbox)} observed by the logbook")
-    print(f"actuations per agent: {[a.actuations for a in agents]}")
-    for node, agent in zip(nodes, agents):
+    print(f"\nbus traffic: {live.broker.published_count} messages published, "
+          f"{len(logbook.inbox)} observed by the logbook "
+          f"({live.telemetry.samples_published} node samples)")
+    print(f"actuations per agent: {[a.actuations for a in live.agents]}")
+    for node, agent in zip(nodes, live.agents):
         state = "capped" if agent.capped else "uncapped"
         print(f"  node{node.node_id}: {node.power_w():6.0f} W, {state}")
     print("\nnote: agents never call each other — every interaction rode "
@@ -83,4 +80,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(batched="--batched" in sys.argv[1:])

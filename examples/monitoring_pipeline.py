@@ -15,6 +15,7 @@ Run:  python examples/monitoring_pipeline.py
 import numpy as np
 
 from repro.apps import cg_solve
+from repro.cluster import ClusterBuilder
 from repro.energyapi import Instrumentation
 from repro.monitoring import EnergyGateway, IpmiMonitor, MqttBroker
 from repro.power import PowerTrace
@@ -70,7 +71,8 @@ def main() -> None:
     broker = MqttBroker()
     collector = broker.connect("collector")
     collector.subscribe("davide/node0/power/node", qos=1)
-    eg = EnergyGateway(0, broker, config=GatewayConfig(adc_rate_hz=100e3, decimation=16))
+    eg = ClusterBuilder().build_gateway(
+        0, broker=broker, config=GatewayConfig(adc_rate_hz=100e3, decimation=16))
     measured = eg.acquire_and_publish(truth)
     rebuilt = EnergyGateway.reassemble(collector.drain())
     print(f"\nenergy gateway @ {measured.sample_rate_hz / 1e3:.0f} kS/s:")

@@ -26,6 +26,7 @@ from repro.cooling import (
     ThrottleGovernor,
     heat_split_for_rack,
 )
+from repro.cluster import ClusterBuilder
 from repro.hardware import BurnInSuite, Cluster, RackManagementController
 
 
@@ -87,7 +88,7 @@ def stage4_production_acceptance(cluster: Cluster) -> None:
 
 
 def main() -> None:
-    cluster = Cluster()
+    cluster = ClusterBuilder().build_hardware()
     stage1_burn_in(cluster)
     air_perf = stage2_air_baseline()
     stage3_liquid_conversion(cluster, air_perf)

@@ -18,9 +18,9 @@ import sys
 
 import numpy as np
 
+from repro.cluster import ClusterBuilder
 from repro.prediction import JobPowerModel, chronological_split
 from repro.scheduler import (
-    ClusterSimulator,
     EasyBackfillScheduler,
     PowerAwareScheduler,
     WorkloadConfig,
@@ -48,8 +48,8 @@ def main() -> None:
     policies = {
         "uncapped EASY": (EasyBackfillScheduler(), None),
         "reactive only": (EasyBackfillScheduler(), budget_w),
-        "proactive only": (PowerAwareScheduler(budget_w, predictor=model), None),
-        "combined": (PowerAwareScheduler(budget_w, predictor=model), budget_w),
+        "proactive only": (PowerAwareScheduler(cap_w=budget_w, predictor=model), None),
+        "combined": (PowerAwareScheduler(cap_w=budget_w, predictor=model), budget_w),
     }
 
     header = (f"{'policy':16s} {'peak kW':>8s} {'mean wait':>10s} "
@@ -57,7 +57,8 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for name, (policy, cap) in policies.items():
-        result = ClusterSimulator(N_NODES, policy, reactive_cap_w=cap).run(production)
+        sim = ClusterBuilder(n_nodes=N_NODES).with_scheduler(policy, cap_w=cap).build_simulator()
+        result = sim.run(production)
         print(f"{name:16s} {result.peak_power_w() / 1e3:8.1f} "
               f"{result.mean_wait_s() / 60:8.1f} m "
               f"{result.mean_bounded_slowdown():9.2f} "

@@ -11,14 +11,14 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DavideConfig, DavideSystem
+from repro import ClusterBuilder
 from repro.scheduler import WorkloadConfig, WorkloadGenerator
 
 
 def main() -> None:
     # 1. The machine: 45 Garrison nodes in 3 OpenRacks, one energy
     #    gateway per node, an MQTT broker, a TSDB collector agent.
-    system = DavideSystem(DavideConfig(), seed=0)
+    system = ClusterBuilder(seed=0).build_system()
     print(f"cluster: {system.cluster.n_nodes} nodes, "
           f"{system.cluster.nameplate_flops / 1e15:.2f} PFlops nameplate")
 

@@ -10,14 +10,20 @@ proactive + reactive power-capped scheduling, energy-proportionality
 APIs), the cooling plant (direct liquid cooling, thermal throttling),
 and phase models of the four ported applications.
 
-Start with :class:`repro.core.DavideSystem` for the integrated Fig.-4
-pipeline, or import the subsystem packages directly.
+Start with :class:`repro.cluster.ClusterBuilder` — one facade that
+assembles every artifact shape (bare hardware, live agents on the
+kernel, the scheduling simulator, the integrated system, the fault
+drill) — or import the subsystem packages directly.  The most-used
+entry points are re-exported here, so::
+
+    from repro import ClusterBuilder, FaultInjector, PowerTrace
 """
 
 from . import (
     analysis,
     apps,
     capping,
+    cluster,
     cooling,
     core,
     energyapi,
@@ -32,18 +38,35 @@ from . import (
     telemetry,
     timesync,
 )
+from .cluster import ClusterBuilder, LiveCluster, TelemetryPlane
 from .core import CampaignReport, DavideConfig, DavideSystem
+from .faults import DrillConfig, FaultDrill, FaultInjector, FaultKind, FaultSpec
+from .monitoring import MqttBroker
+from .power import PowerTrace
+from .sim import Environment
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CampaignReport",
+    "ClusterBuilder",
     "DavideConfig",
     "DavideSystem",
+    "DrillConfig",
+    "Environment",
+    "FaultDrill",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "LiveCluster",
+    "MqttBroker",
+    "PowerTrace",
+    "TelemetryPlane",
     "__version__",
     "analysis",
     "apps",
     "capping",
+    "cluster",
     "cooling",
     "core",
     "energyapi",

@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..hardware.node import ComputeNode
 
 __all__ = ["PiController", "NodePowerCapper", "CapperTelemetry", "SensorWatchdog"]
@@ -43,6 +44,17 @@ class SensorWatchdog:
     def update(self, source: Any, t_s: float, value_w: float) -> None:
         """Record one sample from ``source``."""
         self._last[source] = (float(t_s), float(value_w))
+
+    def update_many(self, sources: Any, t_s: float, values_w: Any) -> None:
+        """Record one batch of same-time samples (one per source).
+
+        Equivalent to calling :meth:`update` per source in order — the
+        batched telemetry path's entry point.
+        """
+        t = float(t_s)
+        last = self._last
+        for source, value in zip(sources, values_w):
+            last[source] = (t, float(value))
 
     def value(self, source: Any) -> Optional[float]:
         """Last known value for ``source`` (hold-last), or None."""
@@ -132,41 +144,64 @@ class CapperTelemetry:
 class NodePowerCapper:
     """PI loop from measured node power to the node's cap actuator."""
 
+    _ALIASES = {"setpoint_w": "cap_w", "control_period_s": "period_s"}
+
     def __init__(
         self,
         node: ComputeNode,
-        setpoint_w: float,
-        control_period_s: float = 0.1,
+        cap_w: Optional[float] = None,
+        period_s: Optional[float] = None,
         kp: float = 0.6,
         ki: float = 2.0,
         sensor_noise_w: float = 2.0,
         rng: np.random.Generator | None = None,
         failsafe_cap_w: Optional[float] = None,
         failsafe_after_s: Optional[float] = None,
+        **legacy,
     ):
         """``failsafe_cap_w`` is the deep protective cap applied once the
         sensor stream has been silent for ``failsafe_after_s`` (defaults:
-        80 % of setpoint, after 5 control periods).  Until then the
+        80 % of the cap, after 5 control periods).  Until then the
         controller freezes (holds the last commanded cap) rather than
-        integrating on phantom error."""
-        if setpoint_w <= 0 or control_period_s <= 0:
+        integrating on phantom error.  The old ``setpoint_w`` /
+        ``control_period_s`` spellings still work but warn."""
+        if legacy:
+            rename_kwargs("NodePowerCapper", legacy, self._ALIASES)
+            cap_w = pop_alias("NodePowerCapper", legacy, "cap_w", cap_w)
+            period_s = pop_alias("NodePowerCapper", legacy, "period_s", period_s)
+            reject_unknown_kwargs("NodePowerCapper", legacy)
+        if period_s is None:
+            period_s = 0.1
+        if cap_w is None:
+            raise TypeError("NodePowerCapper() missing required argument 'cap_w'")
+        if cap_w <= 0 or period_s <= 0:
             raise ValueError("setpoint and period must be positive")
         self.node = node
-        self.setpoint_w = float(setpoint_w)
-        self.control_period_s = float(control_period_s)
+        self.cap_w = float(cap_w)
+        self.period_s = float(period_s)
         self.sensor_noise_w = float(sensor_noise_w)
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.failsafe_cap_w = float(failsafe_cap_w) if failsafe_cap_w is not None else setpoint_w * 0.8
+        self.failsafe_cap_w = float(failsafe_cap_w) if failsafe_cap_w is not None else self.cap_w * 0.8
         self.failsafe_after_s = (
-            float(failsafe_after_s) if failsafe_after_s is not None else 5 * self.control_period_s
+            float(failsafe_after_s) if failsafe_after_s is not None else 5 * self.period_s
         )
         self.failsafe_engagements = 0
         # The PI output is a *cap adjustment* around the setpoint; the
         # actuator saturates between a deep trim and nameplate.
         self.pi = PiController(
-            kp=kp, ki=ki, setpoint=setpoint_w,
-            out_min=-setpoint_w * 0.5, out_max=setpoint_w * 0.5,
+            kp=kp, ki=ki, setpoint=self.cap_w,
+            out_min=-self.cap_w * 0.5, out_max=self.cap_w * 0.5,
         )
+
+    @property
+    def setpoint_w(self) -> float:
+        """Deprecated spelling of :attr:`cap_w` (kept one release)."""
+        return self.cap_w
+
+    @property
+    def control_period_s(self) -> float:
+        """Deprecated spelling of :attr:`period_s` (kept one release)."""
+        return self.period_s
 
     def run(
         self,
@@ -188,12 +223,12 @@ class NodePowerCapper:
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        n = max(int(round(duration_s / self.control_period_s)), 1)
-        t_arr = np.arange(n) * self.control_period_s
+        n = max(int(round(duration_s / self.period_s)), 1)
+        t_arr = np.arange(n) * self.period_s
         measured = np.empty(n)
         commanded = np.empty(n)
         achieved = np.empty(n)
-        last_cap = self.setpoint_w
+        last_cap = self.cap_w
         last_sample_t = 0.0
         in_failsafe = False
         for i, t in enumerate(t_arr):
@@ -204,8 +239,8 @@ class NodePowerCapper:
             sensor_ok = sensor_ok_fn is None or sensor_ok_fn(t)
             if sensor_ok:
                 meas = raw + float(self.rng.normal(0.0, self.sensor_noise_w))
-                adjustment = self.pi.update(meas, self.control_period_s)
-                cap = self.setpoint_w + adjustment
+                adjustment = self.pi.update(meas, self.period_s)
+                cap = self.cap_w + adjustment
                 last_sample_t = t
                 if in_failsafe:
                     in_failsafe = False

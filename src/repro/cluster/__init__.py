@@ -1,0 +1,12 @@
+"""Unified cluster facade: one builder for every artifact shape.
+
+``repro.cluster`` is the front door for assembling the reproduction's
+moving parts — bare hardware, the live agent stack on the simulation
+kernel, the scheduling simulator, the integrated system, the fault
+drill — from one fluently-configured :class:`ClusterBuilder`.
+"""
+
+from ..monitoring.plane import TelemetryPlane
+from .builder import ClusterBuilder, LiveCluster
+
+__all__ = ["ClusterBuilder", "LiveCluster", "TelemetryPlane"]

@@ -1,0 +1,319 @@
+"""One front door for assembling the cluster, at every fidelity level.
+
+Every example and test used to hand-wire the same parts: construct an
+:class:`~repro.sim.engine.Environment`, a broker clocked to it, N
+compute nodes, one gateway per node, capping agents, maybe a scheduler
+or a fault drill — each call site with its own slightly different
+glue.  :class:`ClusterBuilder` centralizes that assembly: configure the
+cluster once with the fluent ``with_*`` mutators, then ask for whichever
+artifact the scenario needs with a ``build_*`` terminal:
+
+======================  ====================================================
+terminal                 what you get
+======================  ====================================================
+``build_nodes``          bare :class:`ComputeNode` list (power models only)
+``build_rack``           one populated :class:`Rack`
+``build_hardware``       the full static :class:`Cluster` envelope
+``build_live``           a :class:`LiveCluster`: kernel + broker + telemetry
+                         plane + capping agents, ready to ``run()``
+``build_simulator``      a :class:`ClusterSimulator` for scheduling studies
+``build_system``         the integrated Fig.-4 :class:`DavideSystem`
+``build_drill``          a :class:`FaultDrill` wired from the same knobs
+``build_gateway``        one full-chain :class:`EnergyGateway`
+======================  ====================================================
+
+The builder is cheap and reusable: terminals never mutate it, so one
+configured builder can stamp out many independent artifacts (each
+``build_live`` call gets its own kernel and broker).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import DavideConfig
+from ..core.system import DavideSystem
+from ..faults.drill import DrillConfig, FaultDrill
+from ..hardware.cluster import Cluster
+from ..hardware.node import ComputeNode
+from ..hardware.rack import Rack
+from ..hardware.specs import DAVIDE_SYSTEM, GARRISON_NODE, NodeSpec, SystemSpec
+from ..monitoring.daemon import CappingAgent
+from ..monitoring.gateway import EnergyGateway, GatewayConfig
+from ..monitoring.mqtt import MqttBroker, MqttClient
+from ..monitoring.plane import TelemetryPlane
+from ..scheduler.policies import FifoScheduler, SchedulingPolicy
+from ..scheduler.simulate import ClusterSimulator
+from ..sim.engine import Environment
+
+__all__ = ["ClusterBuilder", "LiveCluster"]
+
+
+class LiveCluster:
+    """A running slice of the machine on the discrete-event kernel.
+
+    Holds the kernel, the broker (clocked to simulated time), the
+    compute nodes, the :class:`TelemetryPlane` sampling them, and — when
+    capping was configured — one :class:`CappingAgent` per node.  All
+    interaction between the pieces rides the MQTT bus, as deployed.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        broker: MqttBroker,
+        nodes: list[ComputeNode],
+        telemetry: TelemetryPlane,
+        agents: list[CappingAgent],
+    ):
+        self.env = env
+        self.broker = broker
+        self.nodes = nodes
+        self.telemetry = telemetry
+        self.agents = agents
+
+    def run(self, until: float) -> None:
+        """Advance the kernel to simulated time ``until`` (seconds)."""
+        self.env.run(until=until)
+
+    def connect(self, client_id: str) -> MqttClient:
+        """Attach an extra bus client (a logger, a collector...)."""
+        return self.broker.connect(client_id)
+
+    @property
+    def total_power_w(self) -> float:
+        """Instantaneous fleet draw straight off the node power models."""
+        return float(sum(n.power_w() for n in self.nodes))
+
+    @property
+    def capped_nodes(self) -> int:
+        """How many capping agents currently hold their node trimmed."""
+        return sum(a.capped for a in self.agents)
+
+
+class ClusterBuilder:
+    """Fluent assembly of the reproduction's cluster artifacts.
+
+    >>> live = (ClusterBuilder(n_nodes=6)
+    ...         .with_gateways(period_s=0.1)
+    ...         .with_capping(cap_w=1500.0)
+    ...         .build_live())
+    >>> live.run(until=5.0)
+
+    Every ``with_*`` mutator returns the builder; every ``build_*``
+    terminal leaves it untouched.
+    """
+
+    def __init__(
+        self,
+        n_nodes: Optional[int] = None,
+        *,
+        seed: int = 0,
+        topic_prefix: str = "davide",
+        spec: SystemSpec = DAVIDE_SYSTEM,
+    ):
+        self._spec = spec
+        self._node_spec: NodeSpec = spec.node
+        self._n_nodes = n_nodes
+        self.seed = int(seed)
+        self.topic_prefix = topic_prefix
+        # gateway / telemetry plane knobs
+        self._gateway_kw: dict = {}
+        self._gateways_configured = False
+        self._batched = False
+        # capping agents
+        self._capping_kw: Optional[dict] = None
+        # scheduler
+        self._policy: Optional[SchedulingPolicy] = None
+        self._sched_cap_w: Optional[float] = None
+        self._sched_kw: dict = {}
+        # fault drill overrides
+        self._drill_kw: dict = {}
+        # integrated-system config
+        self._system_config: Optional[DavideConfig] = None
+
+    # ------------------------------------------------------------ mutators
+    def with_spec(self, spec: SystemSpec) -> "ClusterBuilder":
+        """Swap the whole-system envelope (racks, node spec, targets)."""
+        self._spec = spec
+        self._node_spec = spec.node
+        return self
+
+    def with_node_spec(self, node_spec: NodeSpec) -> "ClusterBuilder":
+        """Override just the per-node hardware spec."""
+        self._node_spec = node_spec
+        return self
+
+    def with_gateways(
+        self,
+        period_s: float = 0.1,
+        sensor_noise_w: float = 2.0,
+        *,
+        batched: bool = False,
+        **gateway_kw,
+    ) -> "ClusterBuilder":
+        """Configure the telemetry sampling plane.
+
+        ``batched=True`` selects the vectorized :class:`GatewayArray`
+        hot path (one kernel event samples every node); the default
+        builds one daemon process per node.  Extra keywords flow to the
+        underlying gateway constructor (buffer limits, backoff...).
+        """
+        self._gateway_kw = {"period_s": period_s, "sensor_noise_w": sensor_noise_w, **gateway_kw}
+        self._gateways_configured = True
+        self._batched = bool(batched)
+        return self
+
+    def with_capping(
+        self,
+        cap_w: float,
+        hysteresis_w: float = 25.0,
+        actuation_delay_s: float = 0.01,
+    ) -> "ClusterBuilder":
+        """Put one telemetry-driven capping agent on every node."""
+        self._capping_kw = {
+            "cap_w": float(cap_w),
+            "hysteresis_w": float(hysteresis_w),
+            "actuation_delay_s": float(actuation_delay_s),
+        }
+        return self
+
+    def with_scheduler(
+        self,
+        policy: Optional[SchedulingPolicy] = None,
+        cap_w: Optional[float] = None,
+        **simulator_kw,
+    ) -> "ClusterBuilder":
+        """Configure the scheduling layer (policy + reactive cap).
+
+        ``cap_w`` doubles as the drill's cluster power budget so one
+        number governs both artifact shapes.
+        """
+        self._policy = policy
+        self._sched_cap_w = None if cap_w is None else float(cap_w)
+        self._sched_kw = dict(simulator_kw)
+        return self
+
+    def with_faults(self, **drill_overrides) -> "ClusterBuilder":
+        """Override :class:`DrillConfig` fields for :meth:`build_drill`."""
+        self._drill_kw.update(drill_overrides)
+        return self
+
+    def with_system_config(self, config: DavideConfig) -> "ClusterBuilder":
+        """Use an explicit :class:`DavideConfig` for :meth:`build_system`."""
+        self._system_config = config
+        return self
+
+    # ------------------------------------------------------------ internals
+    @property
+    def n_nodes(self) -> int:
+        """Node count: explicit, else the spec's full complement."""
+        return self._n_nodes if self._n_nodes is not None else self._spec.n_nodes
+
+    def _rng(self, i: int) -> np.random.Generator:
+        return np.random.default_rng(self.seed * 1000 + i)
+
+    # ------------------------------------------------------------ terminals
+    def build_nodes(self) -> list[ComputeNode]:
+        """Bare compute nodes (power/thermal models, no plumbing)."""
+        return [ComputeNode(node_id=i, spec=self._node_spec) for i in range(self.n_nodes)]
+
+    def build_rack(self, rack_id: int = 0) -> Rack:
+        """One populated rack from the configured specs."""
+        return Rack(
+            rack_id=rack_id,
+            spec=self._spec.rack,
+            node_spec=self._node_spec,
+            n_nodes=self._n_nodes,
+        )
+
+    def build_hardware(self) -> Cluster:
+        """The full static hardware envelope (all racks, no kernel)."""
+        return Cluster(self._spec)
+
+    def build_gateway(self, node_id: int = 0, broker: Optional[MqttBroker] = None,
+                      config: GatewayConfig = GatewayConfig()) -> EnergyGateway:
+        """One full-chain (sensor/ADC/decimation) energy gateway."""
+        return EnergyGateway(
+            node_id,
+            broker if broker is not None else MqttBroker(),
+            config=config,
+            rng=self._rng(node_id),
+        )
+
+    def build_live(
+        self,
+        powers_fn: Optional[Callable[[], np.ndarray]] = None,
+        clocks: Optional[Sequence[Callable[[float], float]]] = None,
+    ) -> LiveCluster:
+        """Kernel + broker + nodes + telemetry plane (+ capping agents).
+
+        The broker's clock is the kernel clock, so retained messages and
+        logs carry simulated timestamps.  Per-node sampling noise is
+        seeded from the builder seed (stream ``seed*1000 + node_id``),
+        matching :class:`DavideSystem`'s convention.
+        """
+        env = Environment()
+        broker = MqttBroker(clock=lambda: env.now)
+        nodes = self.build_nodes()
+        telemetry = TelemetryPlane(
+            env,
+            nodes,
+            broker,
+            topic_prefix=self.topic_prefix,
+            batched=self._batched,
+            rngs=[self._rng(i) for i in range(self.n_nodes)],
+            clocks=clocks,
+            powers_fn=powers_fn,
+            **self._gateway_kw,
+        )
+        agents: list[CappingAgent] = []
+        if self._capping_kw is not None:
+            batch_topic = telemetry.array.topic if telemetry.array is not None else None
+            agents = [
+                CappingAgent(
+                    env, node, broker,
+                    topic_prefix=self.topic_prefix,
+                    batch_topic=batch_topic,
+                    **self._capping_kw,
+                )
+                for node in nodes
+            ]
+        return LiveCluster(env, broker, nodes, telemetry, agents)
+
+    def build_simulator(self) -> ClusterSimulator:
+        """A :class:`ClusterSimulator` for scheduling/energy studies."""
+        policy = self._policy if self._policy is not None else FifoScheduler()
+        return ClusterSimulator(
+            self.n_nodes,
+            policy,
+            cap_w=self._sched_cap_w,
+            **self._sched_kw,
+        )
+
+    def build_system(self) -> DavideSystem:
+        """The integrated Fig.-4 measurement/accounting pipeline."""
+        config = self._system_config
+        if config is None:
+            config = DavideConfig(system=self._spec)
+        return DavideSystem(config, seed=self.seed)
+
+    def build_drill(self, fail_fast: bool = False) -> FaultDrill:
+        """A :class:`FaultDrill` sharing the builder's knobs.
+
+        The gateway period/noise configured via :meth:`with_gateways`,
+        the ``batched`` flag, and the scheduler budget from
+        :meth:`with_scheduler` all map onto the corresponding
+        :class:`DrillConfig` fields; :meth:`with_faults` overrides win.
+        """
+        fields: dict = {"n_nodes": self.n_nodes, "seed": self.seed}
+        if self._gateways_configured:
+            fields["gateway_period_s"] = self._gateway_kw["period_s"]
+            fields["sensor_noise_w"] = self._gateway_kw["sensor_noise_w"]
+        fields["batched_telemetry"] = self._batched
+        if self._sched_cap_w is not None:
+            fields["power_budget_w"] = self._sched_cap_w
+        fields.update(self._drill_kw)
+        return FaultDrill(DrillConfig(**fields), fail_fast=fail_fast)

@@ -235,7 +235,7 @@ class DavideSystem:
             policy = EasyBackfillScheduler()
             cap = None
         production_sim = ClusterSimulator(
-            n_nodes, policy, idle_node_power_w=self.config.idle_node_power_w, reactive_cap_w=cap
+            n_nodes, policy, idle_node_power_w=self.config.idle_node_power_w, cap_w=cap
         )
         production_result = production_sim.run(production_jobs)
         # Data intelligence over the campaign (Fig.-4's "smart profilers"

@@ -40,10 +40,13 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..capping.controller import SensorWatchdog
 from ..hardware.psu import PsuModel, RackLevelSupply
-from ..monitoring.daemon import GatewayDaemon
+from ..monitoring.daemon import GatewayArray, GatewayDaemon
 from ..monitoring.mqtt import Message, MqttBroker
+from ..monitoring.plane import TelemetryPlane
 from ..scheduler.job import Job, JobRecord, JobState
 from ..scheduler.policies import SchedulerContext
 from ..scheduler.power_aware import PowerAwareScheduler
@@ -93,6 +96,15 @@ class DrillConfig:
     #: margin, two losses force the controller to retarget the cap.
     shelf_psu_rating_w: float = 3_000.0
     shelf_psus: int = 6
+    #: Sample all nodes through one vectorized :class:`GatewayArray`
+    #: kernel event instead of one daemon process per node.  Same
+    #: per-node noise streams, sample stamps and controller inputs — at
+    #: equal seeds the telemetry log digest is unchanged — but the hot
+    #: path scales to hundreds of nodes.  (Scenarios where a sensor
+    #: dropout overlaps a broker outage are the exception: daemons then
+    #: enter backoff at different ticks, which one shared prober cannot
+    #: mimic.)
+    batched_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.n_jobs < 1:
@@ -214,24 +226,33 @@ class FaultDrill:
         self._dropout: set[int] = set()
         self._spike_w: dict[int, float] = {}
         self._clocks = [_GatewayClock() for _ in range(cfg.n_nodes)]
+        # Vector mirrors of per-node state for the batched hot path
+        # (kept in lockstep by the fault handlers).
+        self._up_w = np.ones(cfg.n_nodes)
+        self._clk_off = np.zeros(cfg.n_nodes)
+        self._clk_rate = np.zeros(cfg.n_nodes)
+        self._clk_since = np.zeros(cfg.n_nodes)
         # -- agents -----------------------------------------------------------
-        self.gateways = [
-            GatewayDaemon(
-                self.env,
-                _NodePowerView(self, i),  # type: ignore[arg-type]
-                self.broker,
-                period_s=cfg.gateway_period_s,
-                sensor_noise_w=cfg.sensor_noise_w,
-                clock=self._clocks[i],
-            )
-            for i in range(cfg.n_nodes)
-        ]
-        for i, gw in enumerate(self.gateways):
-            gw.sensor_fault = self._make_sensor_fault(i)
         self.watchdog = SensorWatchdog(cfg.stale_after_s, cfg.failsafe_after_s)
         self._collector = self.broker.connect("drill-collector")
-        self._collector.on_message = self._on_sample
-        self._collector.subscribe("davide/+/power/node")
+        self.telemetry = TelemetryPlane(
+            self.env,
+            [_NodePowerView(self, i) for i in range(cfg.n_nodes)],
+            self.broker,
+            period_s=cfg.gateway_period_s,
+            sensor_noise_w=cfg.sensor_noise_w,
+            batched=cfg.batched_telemetry,
+            clocks=self._clocks,
+            clock_fn=self._batch_clock,
+            powers_fn=self._node_powers_w,
+        )
+        self.telemetry.set_sensor_faults(
+            per_node=[self._make_sensor_fault(i) for i in range(cfg.n_nodes)],
+            batch=self._batch_sensor_fault,
+        )
+        self.telemetry.attach_collector(self._collector, self._on_sample, self._on_batch)
+        self.gateways = self.telemetry.gateways
+        self.gateway_array: Optional[GatewayArray] = self.telemetry.array
         self.failsafe_active = False
         self.failsafe_engagements = 0
         self.rho = 1.0
@@ -293,6 +314,19 @@ class FaultDrill:
         share = run.dynamic_w * run.rho / run.record.job.n_nodes
         return self.config.idle_node_power_w + share
 
+    def _node_powers_w(self) -> np.ndarray:
+        """All true node draws at once (the batched gateway's sensor bus).
+
+        Floating-point-identical to :meth:`node_power_w` per element:
+        each node sees ``idle + share`` with the same operation order.
+        """
+        powers = self.config.idle_node_power_w * self._up_w
+        for run in self.running.values():
+            share = run.dynamic_w * run.rho / run.record.job.n_nodes
+            for node_id in run.record.nodes:
+                powers[node_id] += share
+        return powers
+
     def _system_power_w(self) -> float:
         total = 0.0
         for node in self.nodes:
@@ -335,7 +369,7 @@ class FaultDrill:
         self.cap_w = cap_w
         # The proactive dispatcher must admit against what the surviving
         # supplies can actually feed, not the configured budget.
-        self.policy.power_budget_w = max(cap_w, 1.0)
+        self.policy.cap_w = max(cap_w, 1.0)
         now = self.env.now
         if self.cap_steps and self.cap_steps[-1][0] == now:
             self.cap_steps[-1] = (now, cap_w)
@@ -357,6 +391,38 @@ class FaultDrill:
             spike = self._spike_w.get(node_id)
             return measured if spike is None else measured + spike
         return fault
+
+    # ----------------------------------------------------- batched telemetry
+    def _batch_clock(self, now: float) -> np.ndarray:
+        """All gateway clock stamps at once; same piecewise-linear form
+        (and operation order) as :class:`_GatewayClock`."""
+        return now + self._clk_off + self._clk_rate * (now - self._clk_since)
+
+    def _batch_sensor_fault(self, now: float, measured: np.ndarray):
+        """Vectorized twin of the per-node fault closures: spikes shift
+        readings, dropouts knock nodes out of the batch."""
+        for node_id, spike in self._spike_w.items():
+            measured[node_id] = measured[node_id] + spike
+        if not self._dropout:
+            return None, measured
+        keep = np.ones(self.config.n_nodes, dtype=bool)
+        keep[list(self._dropout)] = False
+        return keep, measured
+
+    def _on_batch(self, message: Message) -> None:
+        payload = message.payload
+        nodes = payload["nodes"]
+        stamps = payload["t"].tolist()
+        sample_times = self.sample_times
+        for node_id, stamp in zip(nodes, stamps):
+            sample_times[node_id].append(stamp)
+        self.watchdog.update_many(nodes, self.env.now, payload["p"].tolist())
+
+    def _sync_clock_mirror(self, node_id: int) -> None:
+        clock = self._clocks[node_id]
+        self._clk_off[node_id] = clock.offset_s
+        self._clk_rate[node_id] = clock.rate
+        self._clk_since[node_id] = clock._since
 
     # ------------------------------------------------------------ scheduling
     def _kick(self) -> None:
@@ -460,6 +526,7 @@ class FaultDrill:
         node = self.nodes[node_id]
         self._account()
         node.up = False
+        self._up_w[node_id] = 0.0
         victim = self.running.get(node.job_id) if node.job_id is not None else None
         if victim is not None:
             rec = victim.record
@@ -484,6 +551,7 @@ class FaultDrill:
         node_id = self._target_node(spec)
         self._account()
         self.nodes[node_id].up = True
+        self._up_w[node_id] = 1.0
         self._power_changed()
         self._run_checks()
         self._kick()
@@ -519,10 +587,14 @@ class FaultDrill:
         self._run_checks()
 
     def _drift_on(self, spec: FaultSpec) -> None:
-        self._clocks[self._target_node(spec)].start_drift(self.env.now, spec.magnitude)
+        node_id = self._target_node(spec)
+        self._clocks[node_id].start_drift(self.env.now, spec.magnitude)
+        self._sync_clock_mirror(node_id)
 
     def _drift_off(self, spec: FaultSpec) -> None:
-        self._clocks[self._target_node(spec)].stop_drift(self.env.now)
+        node_id = self._target_node(spec)
+        self._clocks[node_id].stop_drift(self.env.now)
+        self._sync_clock_mirror(node_id)
 
     # -------------------------------------------------------------- capping
     def _apply_trim(self, rho: float) -> None:
@@ -643,8 +715,16 @@ class FaultDrill:
             "total_energy_j": round(self.total_energy_j, 3),
             "jobs_energy_j": round(sum(r.energy_j for r in self.records.values()), 3),
             "idle_energy_j": round(self.idle_energy_j, 3),
-            "gateway_republished": sum(gw.republished_count for gw in self.gateways),
-            "gateway_reconnects": sum(gw.reconnects for gw in self.gateways),
+            "gateway_republished": (
+                self.gateway_array.republished_count
+                if self.gateway_array is not None
+                else sum(gw.republished_count for gw in self.gateways)
+            ),
+            "gateway_reconnects": (
+                self.gateway_array.reconnects
+                if self.gateway_array is not None
+                else sum(gw.reconnects for gw in self.gateways)
+            ),
             "failsafe_engagements": self.failsafe_engagements,
             "invariant_checks": self.checker.checks_run,
             "violations": len(self.checker.violations),

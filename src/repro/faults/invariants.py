@@ -222,13 +222,32 @@ def requeued_jobs_completed() -> InvariantFn:
 
 def node_timestamps_monotonic() -> InvariantFn:
     """Per-node gateway timestamps never step backwards (the PTP servo
-    slews, it does not rewind), even through clock-drift excursions."""
+    slews, it does not rewind), even through clock-drift excursions.
+
+    The per-node sample lists are append-only, so the check is
+    incremental: each call verifies only the samples that arrived since
+    the last call (a found violation is remembered and re-reported, as a
+    full rescan would).  This keeps the drill's periodic audit O(new
+    samples) instead of O(all samples) — the difference between the
+    invariant checker and the cluster dominating a 256-node run.
+    """
+
+    checked: dict[Any, int] = {}
+    sticky: list[Optional[str]] = [None]
 
     def fn(state: Any) -> Optional[str]:
+        if sticky[0] is not None:
+            return sticky[0]
         for node_id, times in state.sample_times.items():
-            for a, b in zip(times, times[1:]):
-                if b < a - 1e-12:
-                    return f"node {node_id} timestamp {b} after {a}"
+            i = max(checked.get(node_id, 1), 1)
+            n = len(times)
+            while i < n:
+                if times[i] < times[i - 1] - 1e-12:
+                    checked[node_id] = i
+                    sticky[0] = f"node {node_id} timestamp {times[i]} after {times[i - 1]}"
+                    return sticky[0]
+                i += 1
+            checked[node_id] = n
         return None
 
     return fn

@@ -10,9 +10,10 @@ from .baselines import (
     standard_monitors,
 )
 from .comparison import MonitorScore, aliasing_spread, compare_monitors
-from .daemon import CappingAgent, GatewayDaemon
+from .daemon import CappingAgent, GatewayArray, GatewayDaemon
 from .gateway import EnergyGateway, GatewayConfig
 from .insight import EfficiencyAuditor, Finding, HazardDetector, PowerAnomalyDetector
+from .plane import TelemetryPlane
 from .mqtt import (
     BrokerUnavailableError,
     Message,
@@ -33,6 +34,7 @@ __all__ = [
     "EfficiencyAuditor",
     "EnergyGateway",
     "Finding",
+    "GatewayArray",
     "GatewayDaemon",
     "HazardDetector",
     "PowerAnomalyDetector",
@@ -50,6 +52,7 @@ __all__ = [
     "PowerInsightMonitor",
     "PwrObject",
     "Subscription",
+    "TelemetryPlane",
     "aliasing_spread",
     "compare_monitors",
     "make_platform",

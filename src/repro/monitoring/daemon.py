@@ -7,32 +7,41 @@ behaviour of the deployed system:
 
 * :class:`GatewayDaemon` — samples its node every period, publishes the
   reading over MQTT (the BBB's firmware loop);
+* :class:`GatewayArray` — the scale-out variant: one kernel event
+  samples N nodes with NumPy and publishes a single batched message,
+  preserving the daemon's store-and-forward semantics;
 * :class:`CappingAgent` — subscribes to the node's power stream and
   actuates the node power cap whenever the measured power exceeds the
-  set point (the "local feedback controller" of §III-A2, running
-  asynchronously off the telemetry bus rather than in lockstep).
+  cap, the "local feedback controller" of §III-A2, running
+  asynchronously off the telemetry bus rather than in lockstep.
 
-The two never call each other — they interact only through the broker,
-exactly like the real components.
+The agents never call each other — they interact only through the
+broker, exactly like the real components.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Optional, Sequence
 
 import numpy as np
 
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..hardware.node import ComputeNode
-from ..sim.engine import Environment
+from ..sim.engine import Environment, PeriodicTask
 from .mqtt import BrokerUnavailableError, Message, MqttBroker, MqttClient
 
-__all__ = ["GatewayDaemon", "CappingAgent"]
+__all__ = ["GatewayDaemon", "GatewayArray", "CappingAgent"]
 
 #: Maps (now_s, measured_w) -> perturbed reading, or None to drop the
 #: sample entirely (sensor dropout).  Installed by the fault injector.
 SensorFault = Callable[[float, float], Optional[float]]
+
+#: Vectorized fault hook for :class:`GatewayArray`:
+#: (now_s, measured_w[n]) -> (keep_mask[n] or None, perturbed_w[n]).
+BatchSensorFault = Callable[[float, np.ndarray], "tuple[Optional[np.ndarray], np.ndarray]"]
+
+_GATEWAY_ALIASES = {"interval_s": "period_s", "rng_seed": "seed"}
 
 
 class GatewayDaemon:
@@ -51,7 +60,7 @@ class GatewayDaemon:
         env: Environment,
         node: ComputeNode,
         broker: MqttBroker,
-        period_s: float = 0.1,
+        period_s: Optional[float] = None,
         sensor_noise_w: float = 2.0,
         topic_prefix: str = "davide",
         rng: np.random.Generator | None = None,
@@ -60,9 +69,20 @@ class GatewayDaemon:
         backoff_factor: float = 2.0,
         max_backoff_s: float = 8.0,
         clock: Optional[Callable[[float], float]] = None,
+        seed: Optional[int] = None,
+        **legacy,
     ):
         """``clock`` maps true simulated time to the gateway's stamped
-        time (the PTP-disciplined clock; identity by default)."""
+        time (the PTP-disciplined clock; identity by default).  ``seed``
+        seeds the sensor-noise stream; default is the node id, and an
+        explicit ``rng`` wins over both."""
+        if legacy:
+            rename_kwargs("GatewayDaemon", legacy, _GATEWAY_ALIASES)
+            period_s = pop_alias("GatewayDaemon", legacy, "period_s", period_s)
+            seed = pop_alias("GatewayDaemon", legacy, "seed", seed)
+            reject_unknown_kwargs("GatewayDaemon", legacy)
+        if period_s is None:
+            period_s = 0.1
         if period_s <= 0:
             raise ValueError("period must be positive")
         if buffer_limit < 1 or retry_backoff_s <= 0 or backoff_factor < 1 or max_backoff_s < retry_backoff_s:
@@ -71,7 +91,9 @@ class GatewayDaemon:
         self.node = node
         self.period_s = float(period_s)
         self.sensor_noise_w = float(sensor_noise_w)
-        self.rng = rng if rng is not None else np.random.default_rng(node.node_id)
+        if rng is None:
+            rng = np.random.default_rng(node.node_id if seed is None else seed)
+        self.rng = rng
         self.client: MqttClient = broker.connect(f"eg-daemon-{node.node_id}")
         self.topic = f"{topic_prefix}/node{node.node_id}/power/node"
         self.samples_published = 0
@@ -122,73 +144,335 @@ class GatewayDaemon:
             self.republished_count += 1
             self.samples_published += 1
 
+    def _drain_then_publish(self, payload: dict) -> None:
+        """Deliver any backlog strictly before the live sample.
+
+        Both deliveries live in one code path so that a reconnect landing
+        on the same timestamp as a sampling tick cannot interleave the
+        fresh reading ahead of older buffered ones — subscribers always
+        see each node's stream in stamp order.
+        """
+        if self._buffer:
+            self._flush_buffer()
+            self.reconnects += 1
+        self.client.publish(self.topic, payload, retain=True)
+        self.samples_published += 1
+
+    def _recover(self):
+        """Bounded exponential backoff while the broker is down; keep
+        sampling into the buffer at each probe so no telemetry interval
+        is unaccounted."""
+        backoff = self.retry_backoff_s
+        while True:
+            yield self.env.timeout(min(backoff, self.max_backoff_s))
+            probe = self._sample()
+            if probe is not None:
+                self._buffer_sample(probe)
+            try:
+                self._flush_buffer()
+            except BrokerUnavailableError:
+                backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
+                continue
+            self.reconnects += 1
+            return
+
     def _run(self):
         while True:
             payload = self._sample()
             if payload is not None:
                 try:
-                    if self._buffer:
-                        # Came back mid-backlog: drain oldest-first so the
-                        # TSDB sees samples in timestamp order.
-                        self._flush_buffer()
-                        self.reconnects += 1
-                    self.client.publish(self.topic, payload, retain=True)
-                    self.samples_published += 1
+                    self._drain_then_publish(payload)
                 except BrokerUnavailableError:
                     self._buffer_sample(payload)
-                    # Bounded exponential backoff while the broker is down;
-                    # keep sampling into the buffer at each probe so no
-                    # telemetry interval is unaccounted.
-                    backoff = self.retry_backoff_s
-                    while True:
-                        yield self.env.timeout(min(backoff, self.max_backoff_s))
-                        probe = self._sample()
-                        if probe is not None:
-                            self._buffer_sample(probe)
-                        try:
-                            self._flush_buffer()
-                        except BrokerUnavailableError:
-                            backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
-                            continue
-                        self.reconnects += 1
-                        break
+                    yield from self._recover()
             yield self.env.timeout(self.period_s)
 
 
+class GatewayArray:
+    """All of a cluster's energy gateways sampled by one kernel event.
+
+    Semantically this is N :class:`GatewayDaemon` instances on a shared
+    sampling grid; mechanically it is a single coalesced
+    :class:`~repro.sim.engine.PeriodicTask` that reads every node's
+    power with NumPy and publishes **one** batched message per tick
+    (payload ``{"nodes": ids, "t": stamps[n], "p": watts[n]}``) instead
+    of N messages.  Store-and-forward survives: on a broker failure the
+    whole batch is buffered (bounded ring, oldest tick dropped first)
+    and a backoff prober keeps sampling until the backlog can drain —
+    always strictly before live publishing resumes.
+
+    Determinism contract: by default each node draws its sensor noise
+    from ``default_rng(node_id)`` — the same per-node streams as
+    individual daemons — pre-drawn in blocks so steady-state sampling
+    stays vectorized.  A run with a ``GatewayArray`` therefore feeds
+    subscribers byte-identical per-node sample sequences to the
+    per-daemon path at equal seeds.  Passing ``seed`` instead selects
+    one shared generator with fully vectorized draws (faster, but a
+    different stream than N daemons would produce).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence[ComputeNode],
+        broker: MqttBroker,
+        period_s: Optional[float] = None,
+        sensor_noise_w: float = 2.0,
+        topic_prefix: str = "davide",
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        powers_fn: Optional[Callable[[], np.ndarray]] = None,
+        clock_fn: Optional[Callable[[float], np.ndarray]] = None,
+        buffer_limit: int = 4096,
+        retry_backoff_s: float = 0.5,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 8.0,
+        noise_block: int = 256,
+        start_delay_s: float = 0.0,
+        seed: Optional[int] = None,
+        **legacy,
+    ):
+        """``powers_fn`` (optional) returns all true node powers as one
+        array — supply a vectorized implementation to avoid N Python
+        calls per tick; the default calls each node's ``power_w()``.
+        ``clock_fn`` maps true time to the n stamped times (PTP clocks);
+        identity by default."""
+        if legacy:
+            rename_kwargs("GatewayArray", legacy, _GATEWAY_ALIASES)
+            period_s = pop_alias("GatewayArray", legacy, "period_s", period_s)
+            seed = pop_alias("GatewayArray", legacy, "seed", seed)
+            reject_unknown_kwargs("GatewayArray", legacy)
+        if period_s is None:
+            period_s = 0.1
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if buffer_limit < 1 or retry_backoff_s <= 0 or backoff_factor < 1 or max_backoff_s < retry_backoff_s:
+            raise ValueError("invalid resilience parameters")
+        if not nodes:
+            raise ValueError("need at least one node")
+        if rngs is not None and seed is not None:
+            raise TypeError("pass either rngs or seed, not both")
+        self.env = env
+        self.nodes = list(nodes)
+        self.n = len(self.nodes)
+        self.node_ids: tuple[int, ...] = tuple(
+            int(getattr(node, "node_id", i)) for i, node in enumerate(self.nodes)
+        )
+        self.period_s = float(period_s)
+        self.sensor_noise_w = float(sensor_noise_w)
+        self.topic = f"{topic_prefix}/power/nodes"
+        self.client: MqttClient = broker.connect("eg-array")
+        self.powers_fn = powers_fn
+        self.clock_fn = clock_fn
+        #: Vectorized fault-injection hook; None = healthy sensors.
+        self.batch_fault: Optional[BatchSensorFault] = None
+        # -- noise streams -----------------------------------------------------
+        if seed is not None:
+            # Shared-generator mode: one vectorized draw per tick.
+            self._shared_rng: Optional[np.random.Generator] = np.random.default_rng(seed)
+            self._rngs: Optional[list[np.random.Generator]] = None
+            self._noise_buf: Optional[np.ndarray] = None
+        else:
+            # Per-node streams matching GatewayDaemon's defaults, drawn
+            # in blocks: column k of the block holds every node's k-th
+            # draw, so one tick costs a single array gather.  Chunked
+            # draws from a Generator yield the same sequence as repeated
+            # scalar draws, which keeps the per-daemon digest contract.
+            if rngs is None:
+                rngs = [np.random.default_rng(nid) for nid in self.node_ids]
+            elif len(rngs) != self.n:
+                raise ValueError("need one rng per node")
+            self._shared_rng = None
+            self._rngs = list(rngs)
+            self._noise_block = max(int(noise_block), 1)
+            self._noise_buf = np.empty((self.n, self._noise_block))
+            self._noise_col = self._noise_block  # force a refill on first use
+        # -- counters ----------------------------------------------------------
+        self.samples_published = 0
+        self.samples_dropped_by_sensor = 0
+        self.buffered_count = 0
+        self.buffer_dropped_count = 0
+        self.republished_count = 0
+        self.reconnects = 0
+        # -- resilience state --------------------------------------------------
+        self.buffer_limit = int(buffer_limit)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.max_backoff_s = float(max_backoff_s)
+        self._buffer: Deque[dict] = deque()
+        self.task: PeriodicTask = env.periodic(
+            self.period_s, self._tick, start_delay_s=start_delay_s, name="gateway-array"
+        )
+
+    @property
+    def backlog(self) -> int:
+        """Samples (across all gateways) waiting for the broker."""
+        return sum(len(batch["nodes"]) for batch in self._buffer)
+
+    # ------------------------------------------------------------- sampling
+    def _next_noise(self) -> np.ndarray:
+        if self._shared_rng is not None:
+            return self._shared_rng.normal(0.0, self.sensor_noise_w, self.n)
+        col = self._noise_col
+        if col >= self._noise_block:
+            buf = self._noise_buf
+            sigma = self.sensor_noise_w
+            block = self._noise_block
+            for i, rng in enumerate(self._rngs):
+                buf[i] = rng.normal(0.0, sigma, block)
+            col = 0
+        self._noise_col = col + 1
+        return self._noise_buf[:, col]
+
+    def _powers(self) -> np.ndarray:
+        if self.powers_fn is not None:
+            return self.powers_fn()
+        return np.array([node.power_w() for node in self.nodes])
+
+    def _sample_batch(self) -> Optional[dict]:
+        now = self.env.now
+        measured = self._powers() + self._next_noise()
+        keep: Optional[np.ndarray] = None
+        if self.batch_fault is not None:
+            keep, measured = self.batch_fault(now, measured)
+        stamps = np.full(self.n, now) if self.clock_fn is None else self.clock_fn(now)
+        power = np.maximum(measured, 0.0)
+        if keep is None:
+            return {"nodes": self.node_ids, "t": stamps, "p": power}
+        dropped = self.n - int(keep.sum())
+        if dropped:
+            self.samples_dropped_by_sensor += dropped
+            if dropped == self.n:
+                return None
+            ids = tuple(nid for nid, k in zip(self.node_ids, keep) if k)
+            return {"nodes": ids, "t": stamps[keep], "p": power[keep]}
+        return {"nodes": self.node_ids, "t": stamps, "p": power}
+
+    # ----------------------------------------------------------- resilience
+    def _buffer_batch(self, batch: dict) -> None:
+        # Bounded per-gateway ring buffer: all gateways share the tick
+        # grid, so dropping the oldest *tick* drops each gateway's
+        # oldest sample — the same policy N daemons apply independently.
+        if len(self._buffer) >= self.buffer_limit:
+            oldest = self._buffer.popleft()
+            self.buffer_dropped_count += len(oldest["nodes"])
+        self._buffer.append(batch)
+        self.buffered_count += len(batch["nodes"])
+
+    def _flush_backlog(self) -> None:
+        while self._buffer:
+            batch = self._buffer[0]
+            self.client.publish(self.topic, batch, retain=True)
+            self._buffer.popleft()
+            n = len(batch["nodes"])
+            self.republished_count += n
+            self.samples_published += n
+
+    def _drain_then_publish(self, batch: dict) -> None:
+        """Backlog strictly before the live batch (see GatewayDaemon)."""
+        if self._buffer:
+            self._flush_backlog()
+            self.reconnects += 1
+        self.client.publish(self.topic, batch, retain=True)
+        self.samples_published += len(batch["nodes"])
+
+    def _recover(self):
+        backoff = self.retry_backoff_s
+        while True:
+            yield self.env.timeout(min(backoff, self.max_backoff_s))
+            probe = self._sample_batch()
+            if probe is not None:
+                self._buffer_batch(probe)
+            try:
+                self._flush_backlog()
+            except BrokerUnavailableError:
+                backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
+                continue
+            self.reconnects += 1
+            # Live cadence resumes one full period after the reconnect
+            # probe — exactly where a daemon's sampling loop lands.
+            self.task.resume(delay_s=self.period_s)
+            return
+
+    def _tick(self, now_s: float) -> None:
+        batch = self._sample_batch()
+        if batch is None:
+            return
+        try:
+            self._drain_then_publish(batch)
+        except BrokerUnavailableError:
+            self._buffer_batch(batch)
+            self.task.suspend()
+            self.env.process(self._recover(), name="gateway-array-recover")
+
+
 class CappingAgent:
-    """Asynchronous node capper driven purely by the telemetry stream."""
+    """Asynchronous node capper driven purely by the telemetry stream.
+
+    Subscribes either to its node's own power topic or — when
+    ``batch_topic`` is given — to a :class:`GatewayArray` batch stream,
+    picking its node's reading out of each block.
+    """
+
+    _ALIASES = {"setpoint_w": "cap_w"}
 
     def __init__(
         self,
         env: Environment,
         node: ComputeNode,
         broker: MqttBroker,
-        setpoint_w: float,
+        cap_w: Optional[float] = None,
         hysteresis_w: float = 25.0,
         actuation_delay_s: float = 0.01,
         topic_prefix: str = "davide",
+        batch_topic: Optional[str] = None,
+        **legacy,
     ):
-        if setpoint_w <= 0 or hysteresis_w < 0 or actuation_delay_s < 0:
+        if legacy:
+            rename_kwargs("CappingAgent", legacy, self._ALIASES)
+            cap_w = pop_alias("CappingAgent", legacy, "cap_w", cap_w)
+            reject_unknown_kwargs("CappingAgent", legacy)
+        if cap_w is None:
+            raise TypeError("CappingAgent() missing required argument 'cap_w'")
+        if cap_w <= 0 or hysteresis_w < 0 or actuation_delay_s < 0:
             raise ValueError("invalid capping agent parameters")
         self.env = env
         self.node = node
-        self.setpoint_w = float(setpoint_w)
+        self.cap_w = float(cap_w)
         self.hysteresis_w = float(hysteresis_w)
         self.actuation_delay_s = float(actuation_delay_s)
         self.client: MqttClient = broker.connect(f"capper-{node.node_id}")
         self.client.on_message = self._on_sample
-        self.client.subscribe(f"{topic_prefix}/node{node.node_id}/power/node")
+        if batch_topic is not None:
+            self.client.subscribe(batch_topic)
+        else:
+            self.client.subscribe(f"{topic_prefix}/node{node.node_id}/power/node")
         self.actuations = 0
         self.capped = False
         self._pending = False
 
+    @property
+    def setpoint_w(self) -> float:
+        """Deprecated spelling of :attr:`cap_w` (kept one release)."""
+        return self.cap_w
+
     def _on_sample(self, message: Message) -> None:
-        power = float(message.payload["p"])
-        over = power > self.setpoint_w
-        under = power < self.setpoint_w - self.hysteresis_w
+        payload = message.payload
+        nodes = payload.get("nodes")
+        if nodes is not None:
+            try:
+                idx = nodes.index(self.node.node_id)
+            except ValueError:
+                return
+            self._observe(float(payload["p"][idx]))
+        else:
+            self._observe(float(payload["p"]))
+
+    def _observe(self, power: float) -> None:
+        over = power > self.cap_w
+        under = power < self.cap_w - self.hysteresis_w
         if over and not self.capped and not self._pending:
             self._pending = True
-            self.env.process(self._actuate(self.setpoint_w), name="cap-on")
+            self.env.process(self._actuate(self.cap_w), name="cap-on")
         elif under and self.capped and not self._pending:
             self._pending = True
             self.env.process(self._actuate(None), name="cap-off")

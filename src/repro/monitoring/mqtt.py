@@ -266,6 +266,11 @@ class MqttBroker:
         self.delivered_count = 0
         self._online = True
         self.rejected_count = 0
+        # Publish-path fast cache: topic -> matching subscriptions.  The
+        # telemetry plane publishes to the same small topic set millions
+        # of times per run; the trie walk is only paid on the first
+        # publish after any subscription change.
+        self._match_cache: dict[str, list[Subscription]] = {}
 
     # -- availability (fault injection) ---------------------------------------
     @property
@@ -296,6 +301,7 @@ class MqttBroker:
         """Remove a client and all its subscriptions."""
         self._clients.pop(client.client_id, None)
         self._purge_client(self._trie, client)
+        self._match_cache.clear()
 
     def _purge_client(self, node: _TopicTrie, client: MqttClient) -> None:
         node.subscriptions = [s for s in node.subscriptions if s.client is not client]
@@ -315,6 +321,7 @@ class MqttBroker:
             raise ValueError("supported QoS levels are 0 and 1")
         sub = Subscription(client=client, topic_filter=topic_filter, qos=qos)
         self._trie.insert(topic_filter.split("/"), sub)
+        self._match_cache.clear()
         for topic, msg in self._retained.items():
             if topic_matches(topic_filter, topic):
                 client._deliver(msg, qos)
@@ -324,6 +331,7 @@ class MqttBroker:
         """Remove one subscription (no error if absent)."""
         validate_filter(topic_filter)
         self._trie.remove(topic_filter.split("/"), client, topic_filter)
+        self._match_cache.clear()
 
     def publish(
         self,
@@ -341,7 +349,11 @@ class MqttBroker:
         if not self._online:
             self.rejected_count += 1
             raise BrokerUnavailableError(f"broker offline: cannot publish to {topic!r}")
-        validate_topic(topic)
+        subs = self._match_cache.get(topic)
+        if subs is None:
+            validate_topic(topic)
+            subs = self._trie.collect(topic.split("/"))
+            self._match_cache[topic] = subs
         if qos not in (0, 1):
             raise ValueError("supported QoS levels are 0 and 1")
         msg = Message(
@@ -354,9 +366,9 @@ class MqttBroker:
             else:
                 self._retained[topic] = msg
         self.published_count += 1
-        for sub in self._trie.collect(topic.split("/")):
+        self.delivered_count += len(subs)
+        for sub in subs:
             sub.client._deliver(msg, sub.qos)
-            self.delivered_count += 1
         return msg
 
     def retained_topics(self) -> list[str]:

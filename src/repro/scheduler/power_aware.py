@@ -24,7 +24,9 @@ through.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
+
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 
 from .job import Job, JobRecord
 from .policies import EasyBackfillScheduler, SchedulerContext
@@ -50,21 +52,37 @@ class PowerAwareScheduler:
 
     def __init__(
         self,
-        power_budget_w: float,
+        cap_w: Optional[float] = None,
         predictor: PowerPredictor | None = None,
         idle_node_power_w: float = 300.0,
         headroom_margin: float = 0.03,
+        **legacy,
     ):
-        if power_budget_w <= 0:
+        if legacy:
+            rename_kwargs("PowerAwareScheduler", legacy, {"power_budget_w": "cap_w"})
+            cap_w = pop_alias("PowerAwareScheduler", legacy, "cap_w", cap_w)
+            reject_unknown_kwargs("PowerAwareScheduler", legacy)
+        if cap_w is None:
+            raise TypeError("PowerAwareScheduler() missing required argument 'cap_w'")
+        if cap_w <= 0:
             raise ValueError("power budget must be positive")
         if not 0.0 <= headroom_margin < 1.0:
             raise ValueError("headroom margin must lie in [0, 1)")
-        self.power_budget_w = float(power_budget_w)
+        self.cap_w = float(cap_w)
         self.predictor = predictor if predictor is not None else request_based_predictor()
         self.idle_node_power_w = float(idle_node_power_w)
         self.headroom_margin = float(headroom_margin)
         self._backfill = EasyBackfillScheduler()
         self.name = "power-aware"
+
+    @property
+    def power_budget_w(self) -> float:
+        """Deprecated spelling of :attr:`cap_w` (kept one release)."""
+        return self.cap_w
+
+    @power_budget_w.setter
+    def power_budget_w(self, value: float) -> None:
+        self.cap_w = float(value)
 
     # -- power bookkeeping ---------------------------------------------------
     def _predicted(self, rec: JobRecord) -> float:
@@ -73,7 +91,7 @@ class PowerAwareScheduler:
         return rec.predicted_power_w
 
     def _effective_budget(self) -> float:
-        return self.power_budget_w * (1.0 - self.headroom_margin)
+        return self.cap_w * (1.0 - self.headroom_margin)
 
     def _predicted_system_power(self, ctx: SchedulerContext, extra: Sequence[JobRecord]) -> float:
         """Predicted power of running + about-to-start jobs + idle nodes."""

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..power.trace import PowerTrace
 from .job import Job, JobRecord, JobState
 from .policies import SchedulerContext, SchedulingPolicy
@@ -119,24 +120,32 @@ class ClusterSimulator:
         n_nodes: int,
         policy: SchedulingPolicy,
         idle_node_power_w: float = 300.0,
-        reactive_cap_w: Optional[float] = None,
+        cap_w: Optional[float] = None,
         speed_exponent: float = 0.75,
         min_speed: float = 0.3,
         on_job_start=None,
         on_job_end=None,
         node_outages: Sequence[NodeOutage] = (),
         on_job_requeue=None,
+        **legacy,
     ):
-        """``on_job_start(record)`` / ``on_job_end(record)`` fire at the
+        """``cap_w`` is the reactive RAPL-style trim threshold (the old
+        ``reactive_cap_w`` spelling still works but warns).
+
+        ``on_job_start(record)`` / ``on_job_end(record)`` fire at the
         corresponding lifecycle instants — the hook the Fig.-4 scheduler
         monitoring plugin attaches to.  ``node_outages`` injects node
         crashes: a crashed node's job is killed and requeued (restarting
         from scratch, its burnt joules staying on its record), the node is
         excluded from dispatch until it rejoins, and ``on_job_requeue(rec)``
         fires for each kill."""
+        if legacy:
+            rename_kwargs("ClusterSimulator", legacy, {"reactive_cap_w": "cap_w"})
+            cap_w = pop_alias("ClusterSimulator", legacy, "cap_w", cap_w)
+            reject_unknown_kwargs("ClusterSimulator", legacy)
         if n_nodes < 1:
             raise ValueError("need at least one node")
-        if reactive_cap_w is not None and reactive_cap_w <= 0:
+        if cap_w is not None and cap_w <= 0:
             raise ValueError("reactive cap must be positive")
         if not 0 < min_speed <= 1:
             raise ValueError("min speed must lie in (0, 1]")
@@ -146,13 +155,18 @@ class ClusterSimulator:
         self.n_nodes = n_nodes
         self.policy = policy
         self.idle_node_power_w = float(idle_node_power_w)
-        self.reactive_cap_w = reactive_cap_w
+        self.cap_w = cap_w
         self.speed_exponent = float(speed_exponent)
         self.min_speed = float(min_speed)
         self.on_job_start = on_job_start
         self.on_job_end = on_job_end
         self.node_outages = tuple(sorted(node_outages, key=lambda o: (o.at_s, o.node_id)))
         self.on_job_requeue = on_job_requeue
+
+    @property
+    def reactive_cap_w(self) -> Optional[float]:
+        """Deprecated spelling of :attr:`cap_w` (kept one release)."""
+        return self.cap_w
 
     # -- power resolution ----------------------------------------------------------
     def _resolve_power(self, running: list[_Running], n_alive: int | None = None) -> tuple[float, float]:
@@ -170,14 +184,14 @@ class ClusterSimulator:
             r.granted_power_w = r.record.job.true_power_w
             r.speed = 1.0
             demand += r.granted_power_w
-        if self.reactive_cap_w is None or demand <= self.reactive_cap_w:
+        if self.cap_w is None or demand <= self.cap_w:
             return demand, demand
         # Trim: scale every job's dynamic share by a common rho.
         floor = idle_power + sum(r.record.job.n_nodes * self.idle_node_power_w for r in running)
         dynamic = demand - floor
         if dynamic <= 0:
             return demand, demand  # nothing controllable
-        rho = max((self.reactive_cap_w - floor) / dynamic, 0.0)
+        rho = max((self.cap_w - floor) / dynamic, 0.0)
         # Speed floor limits how hard the hardware can throttle.
         rho_min = self.min_speed ** (1.0 / self.speed_exponent)
         rho = float(np.clip(rho, rho_min, 1.0))
@@ -226,7 +240,7 @@ class ClusterSimulator:
                 running=tuple(r.record for r in running),
                 total_nodes=self.n_nodes - len(down_nodes),
                 system_power_w=trace_p[-1] if trace_p else self.n_nodes * self.idle_node_power_w,
-                power_budget_w=self.reactive_cap_w,
+                power_budget_w=self.cap_w,
             )
             for rec in self.policy.select(list(queue), ctx):
                 if rec.job.n_nodes > len(free_nodes):
@@ -265,7 +279,7 @@ class ClusterSimulator:
                 trace_t.append(now)
                 trace_p.append(system_power)
                 total_energy += system_power * dt
-                if self.reactive_cap_w is not None and demand > self.reactive_cap_w:
+                if self.cap_w is not None and demand > self.cap_w:
                     overdemand_s += dt
                 busy_node_seconds += dt * sum(r.record.job.n_nodes for r in running)
                 for r in running:
@@ -342,7 +356,7 @@ class ClusterSimulator:
             power_trace=trace,
             makespan_s=makespan,
             total_energy_j=total_energy,
-            cap_w=self.reactive_cap_w,
+            cap_w=self.cap_w,
             overdemand_s=overdemand_s,
             utilization=util,
             n_requeues=n_requeues,

@@ -94,7 +94,7 @@ class TimeVaryingBudgetScheduler:
         self.lookahead_s = float(lookahead_s)
         self.lookahead_step_s = float(lookahead_step_s)
         self._inner = PowerAwareScheduler(
-            power_budget_w=max(float(budget_fn(0.0)), 1.0),
+            cap_w=max(float(budget_fn(0.0)), 1.0),
             predictor=predictor,
             idle_node_power_w=idle_node_power_w,
             headroom_margin=headroom_margin,
@@ -112,5 +112,5 @@ class TimeVaryingBudgetScheduler:
 
     def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
         """Re-target the inner dispatcher at the current budget and delegate."""
-        self._inner.power_budget_w = self.effective_budget_w(ctx.now_s)
+        self._inner.cap_w = self.effective_budget_w(ctx.now_s)
         return self._inner.select(queue, ctx)

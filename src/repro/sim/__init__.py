@@ -7,6 +7,7 @@ from .engine import (
     Event,
     Interrupt,
     KernelHooks,
+    PeriodicTask,
     Process,
     SimulationError,
     Timeout,
@@ -21,6 +22,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "KernelHooks",
+    "PeriodicTask",
     "Process",
     "Request",
     "Resource",

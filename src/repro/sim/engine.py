@@ -17,7 +17,6 @@ exactly reproducible run-to-run.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -26,6 +25,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "PeriodicTask",
     "Interrupt",
     "AllOf",
     "AnyOf",
@@ -160,6 +160,92 @@ class Timeout(Event):
         env._schedule(self, delay=self.delay)
 
 
+class PeriodicTask:
+    """A fixed-period callback riding one reused heap entry.
+
+    A generator process pays one :class:`Timeout` allocation, one
+    :class:`Process` resume and two callback dispatches per period.  For
+    fixed-cadence pollers (the telemetry sampling plane, periodic
+    controllers) that overhead dominates large simulations, so this class
+    coalesces it: a single pre-triggered event is pushed, fired, reset
+    and re-pushed, costing one heap entry and one direct callback per
+    tick with no per-tick allocation beyond the heap tuple itself.
+
+    ``fn(now_s)`` runs at every tick.  Cadence control:
+
+    * :meth:`cancel` stops the task for good (an in-flight heap entry
+      becomes a no-op);
+    * :meth:`suspend` stops it temporarily; :meth:`resume` re-arms it,
+      optionally with a one-off initial delay.
+    """
+
+    __slots__ = ("env", "fn", "period_s", "name", "ticks", "_event", "_active", "_pending")
+
+    def __init__(
+        self,
+        env: "Environment",
+        period_s: float,
+        fn: Callable[[float], None],
+        *,
+        start_delay_s: Optional[float] = None,
+        name: str = "",
+    ):
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.env = env
+        self.period_s = float(period_s)
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "periodic")
+        self.ticks = 0
+        self._active = True
+        self._pending = True
+        event = Event(env)
+        event._triggered = True
+        event.callbacks.append(self._fire)
+        self._event = event
+        env._schedule(event, delay=self.period_s if start_delay_s is None else float(start_delay_s))
+
+    @property
+    def active(self) -> bool:
+        """Whether the task will keep firing."""
+        return self._active
+
+    def _fire(self, event: Event) -> None:
+        self._pending = False
+        if not self._active:
+            return
+        self.ticks += 1
+        self.fn(self.env.now)
+        if self._active and not self._pending:
+            # Reclaim the event object: reset its processed state and
+            # push the same heap entry again one period out.
+            event._processed = False
+            event.callbacks.append(self._fire)
+            self._pending = True
+            self.env._schedule(event, delay=self.period_s)
+
+    def cancel(self) -> None:
+        """Stop the task permanently."""
+        self._active = False
+
+    def suspend(self) -> None:
+        """Pause the cadence (resume() re-arms it)."""
+        self._active = False
+
+    def resume(self, delay_s: Optional[float] = None) -> None:
+        """Re-arm a suspended task; first tick after ``delay_s`` (default:
+        one full period)."""
+        if self._active and self._pending:
+            return
+        self._active = True
+        if not self._pending:
+            event = self._event
+            event._processed = False
+            event.callbacks.append(self._fire)
+            self._pending = True
+            self.env._schedule(event, delay=self.period_s if delay_s is None else float(delay_s))
+
+
 class _ConditionMixin:
     """Shared machinery for AllOf / AnyOf composite events."""
 
@@ -288,19 +374,19 @@ class Process(Event):
                 f"Interrupt(cause={event._value.cause!r}) delivered to "
                 f"already-completed process {self.name!r}"
             )
-        self._step(lambda: self._generator.throw(event._value))
+        self._step(self._generator.throw, event._value)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         if event._ok:
-            self._step(lambda: self._generator.send(event._value))
+            self._step(self._generator.send, event._value)
         else:
             event.defused()
-            self._step(lambda: self._generator.throw(event._value))
+            self._step(self._generator.throw, event._value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
         try:
-            target = advance()
+            target = advance(arg)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -326,12 +412,19 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation clock plus the pending-event queue."""
+    """The simulation clock plus the pending-event queue.
+
+    The dispatch loop is the hot path of every large simulation in this
+    repo, so it is written for throughput: the tie-breaking sequence
+    number is a plain int, the :meth:`run` loop binds the queue and
+    ``heappop`` locally, and a hookless environment (``hooks is None``)
+    pays a single identity check per event for observability.
+    """
 
     def __init__(self, initial_time: float = 0.0, hooks: Optional[KernelHooks] = None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._counter = 0
         self.hooks = hooks
 
     def attach_hooks(self, hooks: KernelHooks) -> None:
@@ -364,12 +457,30 @@ class Environment:
         """Event firing when the first event in ``events`` fires."""
         return AnyOf(self, events)
 
+    def periodic(
+        self,
+        period_s: float,
+        fn: Callable[[float], None],
+        *,
+        start_delay_s: Optional[float] = None,
+        name: str = "",
+    ) -> PeriodicTask:
+        """Run ``fn(now_s)`` every ``period_s`` on a coalesced heap entry.
+
+        Far cheaper than a generator process for fixed-cadence work; see
+        :class:`PeriodicTask` for cadence control.
+        """
+        return PeriodicTask(self, period_s, fn, start_delay_s=start_delay_s, name=name)
+
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         at = self._now + delay
-        heapq.heappush(self._queue, (at, next(self._counter), event))
-        if self.hooks is not None and self.hooks.on_schedule is not None:
-            self.hooks.on_schedule(event, at)
+        seq = self._counter
+        self._counter = seq + 1
+        heapq.heappush(self._queue, (at, seq, event))
+        hooks = self.hooks
+        if hooks is not None and hooks.on_schedule is not None:
+            hooks.on_schedule(event, at)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -410,15 +521,33 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
 
-        while self._queue:
+        # Inlined dispatch loop (same semantics as step(), minus the
+        # per-event method-call and re-lookup overhead).
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
             if stop_event is not None and stop_event._processed:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _, event = heappop(queue)
+            self._now = when
+            hooks = self.hooks
+            if hooks is not None and hooks.on_dispatch is not None:
+                hooks.on_dispatch(event, when)
+            callbacks = event.callbacks
+            event.callbacks = []
+            event._processed = True
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                hooks = self.hooks
+                if hooks is not None and hooks.on_error is not None:
+                    hooks.on_error(event._value, event, self._now)
+                raise event._value  # unhandled failure propagates to the caller
 
         if stop_event is not None:
             if stop_event._processed:

@@ -14,6 +14,8 @@ from collections import deque
 
 import numpy as np
 
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
+
 from .clocks import DisciplinedClock, LocalClock
 from .ptp import NetworkPathSpec, PtpExchange, SW_TIMESTAMPING
 
@@ -27,21 +29,33 @@ class NtpClient:
         self,
         local_clock: LocalClock,
         path: NetworkPathSpec = SW_TIMESTAMPING,
-        poll_interval_s: float = 16.0,
+        period_s: float | None = None,
         servo_kp: float = 0.5,
         filter_depth: int = 8,
         rng: np.random.Generator | None = None,
+        **legacy,
     ):
-        if poll_interval_s <= 0 or filter_depth < 1:
+        if legacy:
+            rename_kwargs("NtpClient", legacy, {"poll_interval_s": "period_s"})
+            period_s = pop_alias("NtpClient", legacy, "period_s", period_s)
+            reject_unknown_kwargs("NtpClient", legacy)
+        if period_s is None:
+            period_s = 16.0
+        if period_s <= 0 or filter_depth < 1:
             raise ValueError("invalid NTP parameters")
         self.clock = DisciplinedClock(local_clock)
         self.path = path
-        self.poll_interval_s = float(poll_interval_s)
+        self.period_s = float(period_s)
         self.servo_kp = float(servo_kp)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._filter: deque[PtpExchange] = deque(maxlen=filter_depth)
         self._prev_applied: PtpExchange | None = None
         self.history: list[PtpExchange] = []
+
+    @property
+    def poll_interval_s(self) -> float:
+        """Deprecated spelling of :attr:`period_s` (kept one release)."""
+        return self.period_s
 
     def _stamp_noise(self) -> float:
         return float(self.rng.normal(0.0, self.path.timestamp_error_s))
@@ -86,11 +100,11 @@ class NtpClient:
         """Poll for ``duration_s``; returns residual error after each poll."""
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        times = np.arange(start_s, start_s + duration_s, self.poll_interval_s)
+        times = np.arange(start_s, start_s + duration_s, self.period_s)
         residuals = np.empty(times.size)
         for i, t in enumerate(times):
             self.step(float(t))
-            residuals[i] = self.clock.error_s(float(t) + self.poll_interval_s * 0.5)
+            residuals[i] = self.clock.error_s(float(t) + self.period_s * 0.5)
         return residuals
 
     def steady_state_error_s(self, duration_s: float = 1200.0) -> float:

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
+
 from .clocks import DisciplinedClock, LocalClock
 
 __all__ = ["NetworkPathSpec", "PtpExchange", "PtpSlave", "HW_TIMESTAMPING", "SW_TIMESTAMPING"]
@@ -78,19 +80,31 @@ class PtpSlave:
         self,
         local_clock: LocalClock,
         path: NetworkPathSpec = HW_TIMESTAMPING,
-        sync_interval_s: float = 1.0,
+        period_s: float | None = None,
         servo_kp: float = 0.7,
         rng: np.random.Generator | None = None,
+        **legacy,
     ):
-        if sync_interval_s <= 0:
+        if legacy:
+            rename_kwargs("PtpSlave", legacy, {"sync_interval_s": "period_s"})
+            period_s = pop_alias("PtpSlave", legacy, "period_s", period_s)
+            reject_unknown_kwargs("PtpSlave", legacy)
+        if period_s is None:
+            period_s = 1.0
+        if period_s <= 0:
             raise ValueError("sync interval must be positive")
         self.clock = DisciplinedClock(local_clock)
         self.path = path
-        self.sync_interval_s = float(sync_interval_s)
+        self.period_s = float(period_s)
         self.servo_kp = float(servo_kp)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._prev: PtpExchange | None = None
         self.history: list[PtpExchange] = []
+
+    @property
+    def sync_interval_s(self) -> float:
+        """Deprecated spelling of :attr:`period_s` (kept one release)."""
+        return self.period_s
 
     # -- one protocol round --------------------------------------------------
     def _stamp_noise(self) -> float:
@@ -137,17 +151,17 @@ class PtpSlave:
         return ex
 
     def synchronize(self, duration_s: float, start_s: float = 0.0) -> np.ndarray:
-        """Run rounds every ``sync_interval_s`` for ``duration_s``.
+        """Run rounds every ``period_s`` for ``duration_s``.
 
         Returns the residual clock error sampled just after each round.
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        times = np.arange(start_s, start_s + duration_s, self.sync_interval_s)
+        times = np.arange(start_s, start_s + duration_s, self.period_s)
         residuals = np.empty(times.size)
         for i, t in enumerate(times):
             self.step(float(t))
-            residuals[i] = self.clock.error_s(float(t) + self.sync_interval_s * 0.5)
+            residuals[i] = self.clock.error_s(float(t) + self.period_s * 0.5)
         return residuals
 
     def steady_state_error_s(self, duration_s: float = 120.0) -> float:

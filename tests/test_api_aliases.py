@@ -1,0 +1,114 @@
+"""Keyword normalization: canonical ``period_s``/``cap_w``/``seed``
+spellings, with the old names kept one release behind DeprecationWarning."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.capping import NodePowerCapper
+from repro.hardware import ComputeNode
+from repro.monitoring import CappingAgent, GatewayArray, GatewayDaemon, MqttBroker
+from repro.scheduler import ClusterSimulator, FifoScheduler, PowerAwareScheduler
+from repro.sim import Environment
+from repro.timesync import LocalClock, NtpClient, PtpSlave
+
+
+def _env_node_broker():
+    env = Environment()
+    broker = MqttBroker(clock=lambda: env.now)
+    return env, ComputeNode(node_id=0), broker
+
+
+class TestGatewayAliases:
+    def test_daemon_interval_s_warns(self):
+        env, node, broker = _env_node_broker()
+        with pytest.warns(DeprecationWarning, match="interval_s.*deprecated.*period_s"):
+            daemon = GatewayDaemon(env, node, broker, interval_s=0.25)
+        assert daemon.period_s == 0.25
+
+    def test_daemon_rng_seed_warns(self):
+        env, node, broker = _env_node_broker()
+        with pytest.warns(DeprecationWarning, match="rng_seed.*deprecated.*seed"):
+            daemon = GatewayDaemon(env, node, broker, rng_seed=7)
+        reference = np.random.default_rng(7)
+        assert daemon.rng.normal() == reference.normal()
+
+    def test_daemon_both_spellings_is_an_error(self):
+        env, node, broker = _env_node_broker()
+        with pytest.raises(TypeError, match="both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                GatewayDaemon(env, node, broker, period_s=0.1, interval_s=0.2)
+
+    def test_array_interval_s_warns(self):
+        env, node, broker = _env_node_broker()
+        with pytest.warns(DeprecationWarning, match="interval_s"):
+            array = GatewayArray(env, [node], broker, interval_s=0.25)
+        assert array.period_s == 0.25
+
+    def test_canonical_spelling_is_silent(self):
+        env, node, broker = _env_node_broker()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            GatewayDaemon(env, node, broker, period_s=0.1, seed=3)
+            GatewayArray(env, [node], broker, period_s=0.1)
+
+
+class TestCappingAliases:
+    def test_agent_setpoint_w_warns(self):
+        env, node, broker = _env_node_broker()
+        with pytest.warns(DeprecationWarning, match="setpoint_w.*deprecated.*cap_w"):
+            agent = CappingAgent(env, node, broker, setpoint_w=1_500.0)
+        assert agent.cap_w == 1_500.0
+        assert agent.setpoint_w == 1_500.0  # property read stays silent
+
+    def test_capper_setpoint_and_control_period_warn(self):
+        node = ComputeNode(node_id=0)
+        with pytest.warns(DeprecationWarning, match="setpoint_w"):
+            with pytest.warns(DeprecationWarning, match="control_period_s"):
+                capper = NodePowerCapper(node, setpoint_w=1_200.0, control_period_s=0.2)
+        assert capper.cap_w == 1_200.0 and capper.period_s == 0.2
+        assert capper.setpoint_w == 1_200.0
+        assert capper.control_period_s == 0.2
+
+    def test_capper_requires_cap(self):
+        with pytest.raises(TypeError, match="cap_w"):
+            NodePowerCapper(ComputeNode(node_id=0))
+
+
+class TestSchedulerAliases:
+    def test_simulator_reactive_cap_w_warns(self):
+        with pytest.warns(DeprecationWarning, match="reactive_cap_w.*deprecated.*cap_w"):
+            sim = ClusterSimulator(4, FifoScheduler(), reactive_cap_w=5_000.0)
+        assert sim.cap_w == 5_000.0
+        assert sim.reactive_cap_w == 5_000.0
+
+    def test_power_aware_power_budget_w_warns(self):
+        with pytest.warns(DeprecationWarning, match="power_budget_w.*deprecated.*cap_w"):
+            sched = PowerAwareScheduler(power_budget_w=40_000.0)
+        assert sched.cap_w == 40_000.0
+        assert sched.power_budget_w == 40_000.0
+
+    def test_power_aware_budget_property_setter(self):
+        sched = PowerAwareScheduler(cap_w=40_000.0)
+        sched.power_budget_w = 35_000.0
+        assert sched.cap_w == 35_000.0
+
+
+class TestTimesyncAliases:
+    def test_ntp_poll_interval_s_warns(self):
+        with pytest.warns(DeprecationWarning, match="poll_interval_s.*deprecated.*period_s"):
+            ntp = NtpClient(LocalClock(), poll_interval_s=32.0)
+        assert ntp.period_s == 32.0
+        assert ntp.poll_interval_s == 32.0
+
+    def test_ptp_sync_interval_s_warns(self):
+        with pytest.warns(DeprecationWarning, match="sync_interval_s.*deprecated.*period_s"):
+            ptp = PtpSlave(LocalClock(), sync_interval_s=2.0)
+        assert ptp.period_s == 2.0
+        assert ptp.sync_interval_s == 2.0
+
+    def test_unknown_kwarg_still_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            NtpClient(LocalClock(), pol_interval_s=32.0)
