@@ -31,6 +31,7 @@ from . import (
     hardware,
     monitoring,
     network,
+    observability,
     power,
     prediction,
     scheduler,
@@ -42,6 +43,7 @@ from .cluster import ClusterBuilder, LiveCluster, TelemetryPlane
 from .core import CampaignReport, DavideConfig, DavideSystem
 from .faults import DrillConfig, FaultDrill, FaultInjector, FaultKind, FaultSpec
 from .monitoring import MqttBroker
+from .observability import MetricsRegistry, Observability, Tracer
 from .power import PowerTrace
 from .sim import Environment
 
@@ -59,9 +61,12 @@ __all__ = [
     "FaultKind",
     "FaultSpec",
     "LiveCluster",
+    "MetricsRegistry",
     "MqttBroker",
+    "Observability",
     "PowerTrace",
     "TelemetryPlane",
+    "Tracer",
     "__version__",
     "analysis",
     "apps",
@@ -74,6 +79,7 @@ __all__ = [
     "hardware",
     "monitoring",
     "network",
+    "observability",
     "power",
     "prediction",
     "scheduler",

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..hardware.node import ComputeNode
+from ..observability import Observability, null_observability
 
 __all__ = ["PiController", "NodePowerCapper", "CapperTelemetry", "SensorWatchdog"]
 
@@ -157,6 +158,7 @@ class NodePowerCapper:
         rng: np.random.Generator | None = None,
         failsafe_cap_w: Optional[float] = None,
         failsafe_after_s: Optional[float] = None,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         """``failsafe_cap_w`` is the deep protective cap applied once the
@@ -186,6 +188,11 @@ class NodePowerCapper:
             float(failsafe_after_s) if failsafe_after_s is not None else 5 * self.period_s
         )
         self.failsafe_engagements = 0
+        # Observability handles, resolved once (no-op when not wired in).
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._m_actuations = m.counter("cap_actuations_total")
+        self._m_failsafe = m.counter("cap_failsafe_engagements_total")
         # The PI output is a *cap adjustment* around the setpoint; the
         # actuator saturates between a deep trim and nameplate.
         self.pi = PiController(
@@ -251,10 +258,12 @@ class NodePowerCapper:
                 if not in_failsafe:
                     in_failsafe = True
                     self.failsafe_engagements += 1
+                    self._m_failsafe.inc()
             else:
                 meas = float("nan")
                 cap = last_cap  # hold-last-cap through short gaps
             self.node.apply_power_cap(max(cap, 1.0))
+            self._m_actuations.inc()
             last_cap = cap
             measured[i] = meas
             commanded[i] = cap

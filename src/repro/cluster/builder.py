@@ -44,6 +44,7 @@ from ..monitoring.daemon import CappingAgent
 from ..monitoring.gateway import EnergyGateway, GatewayConfig
 from ..monitoring.mqtt import MqttBroker, MqttClient
 from ..monitoring.plane import TelemetryPlane
+from ..observability import MetricsRegistry, Observability, Tracer, null_observability
 from ..scheduler.policies import FifoScheduler, SchedulingPolicy
 from ..scheduler.simulate import ClusterSimulator
 from ..sim.engine import Environment
@@ -67,16 +68,40 @@ class LiveCluster:
         nodes: list[ComputeNode],
         telemetry: TelemetryPlane,
         agents: list[CappingAgent],
+        obs: Optional[Observability] = None,
     ):
         self.env = env
         self.broker = broker
         self.nodes = nodes
         self.telemetry = telemetry
         self.agents = agents
+        self.obs = obs if obs is not None else null_observability()
 
     def run(self, until: float) -> None:
         """Advance the kernel to simulated time ``until`` (seconds)."""
         self.env.run(until=until)
+
+    def metrics(self) -> MetricsRegistry:
+        """The live metrics registry (a no-op registry when disabled)."""
+        return self.obs.metrics
+
+    def trace(self) -> Tracer:
+        """The live tracer (a no-op tracer when disabled)."""
+        return self.obs.tracer
+
+    def ops_report(self) -> dict:
+        """Operational summary of the running cluster.
+
+        The :meth:`Observability.ops_report` sections plus a ``kernel``
+        block (events dispatched, pending queue depth, simulated time).
+        """
+        report = self.obs.ops_report()
+        report["kernel"] = {
+            "events_dispatched": self.env.events_dispatched,
+            "queue_depth": self.env.queue_depth,
+            "sim_time_s": self.env.now,
+        }
+        return report
 
     def connect(self, client_id: str) -> MqttClient:
         """Attach an extra bus client (a logger, a collector...)."""
@@ -133,6 +158,8 @@ class ClusterBuilder:
         self._drill_kw: dict = {}
         # integrated-system config
         self._system_config: Optional[DavideConfig] = None
+        # observability (metrics + tracing); None = disabled (no-op)
+        self._obs_kw: Optional[dict] = None
 
     # ------------------------------------------------------------ mutators
     def with_spec(self, spec: SystemSpec) -> "ClusterBuilder":
@@ -206,6 +233,21 @@ class ClusterBuilder:
         self._system_config = config
         return self
 
+    def with_observability(
+        self, enabled: bool = True, max_spans: int = 65536
+    ) -> "ClusterBuilder":
+        """Turn on metrics + tracing for the built artifacts.
+
+        When enabled, :meth:`build_live` wires one :class:`Observability`
+        (clocked to the kernel) through the broker, the telemetry plane,
+        and the capping agents; :meth:`build_drill` maps the flag onto
+        :attr:`DrillConfig.observability`.  Instrumentation is a side
+        store — event ordering, RNG draws, and logs are identical with it
+        on or off.  Disabled (the default) costs one no-op call per site.
+        """
+        self._obs_kw = {"max_spans": int(max_spans)} if enabled else None
+        return self
+
     # ------------------------------------------------------------ internals
     @property
     def n_nodes(self) -> int:
@@ -256,7 +298,12 @@ class ClusterBuilder:
         matching :class:`DavideSystem`'s convention.
         """
         env = Environment()
+        if self._obs_kw is not None:
+            obs = Observability(clock=lambda: env.now, **self._obs_kw)
+        else:
+            obs = null_observability()
         broker = MqttBroker(clock=lambda: env.now)
+        broker.bind_observability(obs)
         nodes = self.build_nodes()
         telemetry = TelemetryPlane(
             env,
@@ -267,6 +314,7 @@ class ClusterBuilder:
             rngs=[self._rng(i) for i in range(self.n_nodes)],
             clocks=clocks,
             powers_fn=powers_fn,
+            obs=obs,
             **self._gateway_kw,
         )
         agents: list[CappingAgent] = []
@@ -277,20 +325,24 @@ class ClusterBuilder:
                     env, node, broker,
                     topic_prefix=self.topic_prefix,
                     batch_topic=batch_topic,
+                    obs=obs,
                     **self._capping_kw,
                 )
                 for node in nodes
             ]
-        return LiveCluster(env, broker, nodes, telemetry, agents)
+        return LiveCluster(env, broker, nodes, telemetry, agents, obs=obs)
 
     def build_simulator(self) -> ClusterSimulator:
         """A :class:`ClusterSimulator` for scheduling/energy studies."""
         policy = self._policy if self._policy is not None else FifoScheduler()
+        kw = dict(self._sched_kw)
+        if self._obs_kw is not None and "obs" not in kw:
+            kw["obs"] = Observability(**self._obs_kw)
         return ClusterSimulator(
             self.n_nodes,
             policy,
             cap_w=self._sched_cap_w,
-            **self._sched_kw,
+            **kw,
         )
 
     def build_system(self) -> DavideSystem:
@@ -298,7 +350,8 @@ class ClusterBuilder:
         config = self._system_config
         if config is None:
             config = DavideConfig(system=self._spec)
-        return DavideSystem(config, seed=self.seed)
+        obs = Observability(**self._obs_kw) if self._obs_kw is not None else None
+        return DavideSystem(config, seed=self.seed, obs=obs)
 
     def build_drill(self, fail_fast: bool = False) -> FaultDrill:
         """A :class:`FaultDrill` sharing the builder's knobs.
@@ -315,5 +368,6 @@ class ClusterBuilder:
         fields["batched_telemetry"] = self._batched
         if self._sched_cap_w is not None:
             fields["power_budget_w"] = self._sched_cap_w
+        fields["observability"] = self._obs_kw is not None
         fields.update(self._drill_kw)
         return FaultDrill(DrillConfig(**fields), fail_fast=fail_fast)

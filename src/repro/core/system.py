@@ -36,6 +36,7 @@ from ..scheduler.policies import EasyBackfillScheduler
 from ..scheduler.power_aware import PowerAwareScheduler
 from ..scheduler.simulate import ClusterSimulator, SimulationResult
 from ..monitoring.insight import EfficiencyAuditor, Finding
+from ..observability import Observability, null_observability
 from ..telemetry.accounting import EnergyAccountant, JobEnergyBill, UserStatement
 from ..telemetry.tsdb import SeriesKey, TimeSeriesDB
 from .config import DavideConfig
@@ -80,10 +81,19 @@ class CampaignReport:
 class DavideSystem:
     """The assembled machine + software stack."""
 
-    def __init__(self, config: DavideConfig = DavideConfig(), seed: int = 0):
+    def __init__(
+        self,
+        config: DavideConfig = DavideConfig(),
+        seed: int = 0,
+        obs: Observability | None = None,
+    ):
+        # Observability is a side store: identical campaign results with
+        # it wired in or left as the shared no-op.
+        self.obs = obs if obs is not None else null_observability()
         self.config = config
         self.cluster = Cluster(config.system)
         self.broker = MqttBroker()
+        self.broker.bind_observability(self.obs)
         self.rng = np.random.default_rng(seed)
         self.gateways = {
             node.node_id: EnergyGateway(
@@ -93,6 +103,7 @@ class DavideSystem:
             for node in self.cluster.nodes
         }
         self.db = TimeSeriesDB()
+        self.db.bind_observability(self.obs)
         self.accountant = EnergyAccountant(self.db, price_per_kwh=config.price_per_kwh)
         # The collector agent: subscribes to every power topic and lands
         # samples in the TSDB as they arrive.
@@ -207,6 +218,7 @@ class DavideSystem:
             idle_node_power_w=self.config.idle_node_power_w,
             on_job_start=self.scheduler_plugin.job_started,
             on_job_end=self.scheduler_plugin.job_ended,
+            obs=self.obs,
         )
         history_result = history_sim.run(history_jobs)
         self._land_node_series(history_result)
@@ -229,13 +241,15 @@ class DavideSystem:
                 predictor=model,
                 idle_node_power_w=self.config.idle_node_power_w,
                 headroom_margin=self.config.headroom_margin,
+                obs=self.obs,
             )
             cap = power_budget_w if reactive_backstop else None
         else:
             policy = EasyBackfillScheduler()
             cap = None
         production_sim = ClusterSimulator(
-            n_nodes, policy, idle_node_power_w=self.config.idle_node_power_w, cap_w=cap
+            n_nodes, policy, idle_node_power_w=self.config.idle_node_power_w, cap_w=cap,
+            obs=self.obs,
         )
         production_result = production_sim.run(production_jobs)
         # Data intelligence over the campaign (Fig.-4's "smart profilers"

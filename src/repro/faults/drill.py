@@ -47,6 +47,7 @@ from ..hardware.psu import PsuModel, RackLevelSupply
 from ..monitoring.daemon import GatewayArray, GatewayDaemon
 from ..monitoring.mqtt import Message, MqttBroker
 from ..monitoring.plane import TelemetryPlane
+from ..observability import Observability, null_observability
 from ..scheduler.job import Job, JobRecord, JobState
 from ..scheduler.policies import SchedulerContext
 from ..scheduler.power_aware import PowerAwareScheduler
@@ -105,6 +106,10 @@ class DrillConfig:
     #: enter backoff at different ticks, which one shared prober cannot
     #: mimic.)
     batched_telemetry: bool = False
+    #: Record metrics and spans for the drill's own management plane.
+    #: Purely additive: the telemetry log digest is byte-identical with
+    #: this on or off (instrumentation never touches an RNG or the log).
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.n_jobs < 1:
@@ -199,7 +204,25 @@ class FaultDrill:
         self.log = TelemetryEventLog()
         self.checker = InvariantChecker(fail_fast=fail_fast)
         self.env = Environment(hooks=monotonic_time_hooks(self.checker))
+        # Observability: one registry + tracer shared by every agent in
+        # the drill (shared no-ops when cfg.observability is False).
+        if cfg.observability:
+            self.obs = Observability(clock=lambda: self.env.now)
+        else:
+            self.obs = null_observability()
+        self._tracer = self.obs.tracer
+        m = self.obs.metrics
+        self._m_decisions = m.counter("scheduler_decisions_total")
+        self._m_started = m.counter("scheduler_jobs_started_total")
+        self._m_completed = m.counter("scheduler_jobs_completed_total")
+        self._m_requeued = m.counter("scheduler_jobs_requeued_total")
+        self._m_cap_actuations = m.counter("cap_actuations_total")
+        self._m_cap_violation_s = m.counter("cap_violation_seconds_total")
+        self._m_failsafe = m.counter("cap_failsafe_engagements_total")
+        self._m_inv_checks = m.counter("invariant_checks_total")
+        self._m_inv_violations = m.counter("invariant_violations_total")
         self.broker = MqttBroker(clock=lambda: self.env.now)
+        self.broker.bind_observability(self.obs)
         self.injector = FaultInjector(self.env, log=self.log, seed=cfg.seed)
         self.shelf = RackLevelSupply(
             PsuModel(rating_w=cfg.shelf_psu_rating_w), n_psus=cfg.shelf_psus, min_active=2
@@ -208,6 +231,7 @@ class FaultDrill:
             cfg.power_budget_w,
             predictor=lambda job: job.true_power_w,
             idle_node_power_w=cfg.idle_node_power_w,
+            obs=self.obs,
         )
         # -- cluster state ----------------------------------------------------
         self.nodes = [_DrillNode(i) for i in range(cfg.n_nodes)]
@@ -245,6 +269,7 @@ class FaultDrill:
             clocks=self._clocks,
             clock_fn=self._batch_clock,
             powers_fn=self._node_powers_w,
+            obs=self.obs,
         )
         self.telemetry.set_sensor_faults(
             per_node=[self._make_sensor_fault(i) for i in range(cfg.n_nodes)],
@@ -355,6 +380,8 @@ class FaultDrill:
         )
         self.idle_energy_j += idle_only_w * dt
         self.total_energy_j += (idle_only_w + job_w) * dt
+        if idle_only_w + job_w > self.cap_w * (1 + 1e-9):
+            self._m_cap_violation_s.inc(dt)
         self._last_account_t = now
 
     def _power_changed(self) -> None:
@@ -375,6 +402,7 @@ class FaultDrill:
             self.cap_steps[-1] = (now, cap_w)
         else:
             self.cap_steps.append((now, cap_w))
+        self._m_cap_actuations.inc()
         self.log.append(now, "cap_change", cap_w=round(cap_w, 6), reason=reason)
 
     # ------------------------------------------------------------- telemetry
@@ -479,6 +507,8 @@ class FaultDrill:
                 record=rec, process=proc, dynamic_w=max(dynamic, 0.0), rho=self.rho
             )
             self._power_changed()
+            self._m_decisions.inc()
+            self._m_started.inc()
             self.log.append(self.env.now, "job_start", job=rec.job.job_id,
                             alloc=list(alloc), requeues=rec.requeues)
 
@@ -499,6 +529,7 @@ class FaultDrill:
         rec.end_time_s = self.env.now
         self._completed += 1
         self._power_changed()
+        self._m_completed.inc()
         self.log.append(self.env.now, "job_end", job=rec.job.job_id,
                         energy_j=round(rec.energy_j, 6))
         if self._completed == len(self.jobs):
@@ -541,6 +572,7 @@ class FaultDrill:
             rec.requeues += 1
             self.queue.append(rec)
             self.queue.sort(key=lambda r: (r.job.submit_time_s, r.job.job_id))
+            self._m_requeued.inc()
             self.log.append(self.env.now, "job_requeued", job=rec.job.job_id,
                             crashed_node=node_id, energy_so_far_j=round(rec.energy_j, 6))
         self._power_changed()
@@ -608,6 +640,7 @@ class FaultDrill:
         for run in self.running.values():
             run.rho = rho
         self._power_changed()
+        self._m_cap_actuations.inc()
         self.log.append(self.env.now, "trim", rho=round(rho, 6))
 
     def _controller(self):
@@ -625,6 +658,7 @@ class FaultDrill:
                 if not self.failsafe_active:
                     self.failsafe_active = True
                     self.failsafe_engagements += 1
+                    self._m_failsafe.inc()
                     self.log.append(now, "failsafe_on", reason="all sensors silent")
                 if nominal_dyn > 0:
                     self._apply_trim(
@@ -653,7 +687,14 @@ class FaultDrill:
     def _run_checks(self) -> None:
         self._account()
         self._power_changed()
-        self.checker.check(self, self.env.now)
+        before = len(self.checker.violations)
+        with self._tracer.span("invariant.check") as span:
+            self.checker.check(self, self.env.now)
+        self._m_inv_checks.inc()
+        new = len(self.checker.violations) - before
+        if new:
+            self._m_inv_violations.inc(new)
+        span.set(dispatched=self.env.events_dispatched, violations=new)
 
     def _periodic_check(self):
         while not self._done.triggered:
@@ -698,6 +739,19 @@ class FaultDrill:
             checker=self.checker,
             records=self.records,
         )
+
+    def ops_report(self) -> dict:
+        """Management-plane digest: the shared registry's
+        :meth:`~repro.observability.Observability.ops_report` plus the
+        kernel's load counters.  All zeros unless the drill was built
+        with ``DrillConfig(observability=True)``."""
+        report = self.obs.ops_report()
+        report["kernel"] = {
+            "events_dispatched": self.env.events_dispatched,
+            "queue_depth": self.env.queue_depth,
+            "sim_time_s": self.env.now,
+        }
+        return report
 
     def _summary(self) -> dict:
         completed = sum(1 for r in self.records.values() if r.state is JobState.COMPLETED)

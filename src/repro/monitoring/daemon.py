@@ -28,6 +28,7 @@ import numpy as np
 
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..hardware.node import ComputeNode
+from ..observability import Observability, null_observability
 from ..sim.engine import Environment, PeriodicTask
 from .mqtt import BrokerUnavailableError, Message, MqttBroker, MqttClient
 
@@ -70,12 +71,15 @@ class GatewayDaemon:
         max_backoff_s: float = 8.0,
         clock: Optional[Callable[[float], float]] = None,
         seed: Optional[int] = None,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         """``clock`` maps true simulated time to the gateway's stamped
         time (the PTP-disciplined clock; identity by default).  ``seed``
         seeds the sensor-noise stream; default is the node id, and an
-        explicit ``rng`` wins over both."""
+        explicit ``rng`` wins over both.  ``obs`` wires the daemon into a
+        shared :class:`~repro.observability.Observability`; omitted, the
+        instrumentation is no-op."""
         if legacy:
             rename_kwargs("GatewayDaemon", legacy, _GATEWAY_ALIASES)
             period_s = pop_alias("GatewayDaemon", legacy, "period_s", period_s)
@@ -111,6 +115,16 @@ class GatewayDaemon:
         self.clock: Callable[[float], float] = clock if clock is not None else (lambda t: t)
         #: Fault-injection hook; None = healthy sensor.
         self.sensor_fault: Optional[SensorFault] = None
+        # -- observability (handles resolved once; no-op when disabled) --------
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._tracer = self.obs.tracer
+        self._m_published = m.counter("telemetry_samples_total", mode="daemon")
+        self._m_latency = m.histogram("telemetry_publish_latency_seconds", mode="daemon")
+        self._m_dropped_sensor = m.counter("telemetry_dropped_total", reason="sensor")
+        self._m_dropped_buffer = m.counter("telemetry_dropped_total", reason="buffer")
+        self._m_failures = m.counter("telemetry_publish_failures_total", mode="daemon")
+        self._m_backlog_peak = m.gauge("telemetry_backlog_peak_samples")
         self.process = env.process(self._run(), name=f"gateway-{node.node_id}")
 
     @property
@@ -124,6 +138,7 @@ class GatewayDaemon:
             faulted = self.sensor_fault(self.env.now, measured)
             if faulted is None:
                 self.samples_dropped_by_sensor += 1
+                self._m_dropped_sensor.inc()
                 return None
             measured = faulted
         return {"node": self.node.node_id, "t": self.clock(self.env.now), "p": max(measured, 0.0)}
@@ -132,8 +147,11 @@ class GatewayDaemon:
         if len(self._buffer) >= self.buffer_limit:
             self._buffer.popleft()
             self.buffer_dropped_count += 1
+            self._m_dropped_buffer.inc()
         self._buffer.append(payload)
         self.buffered_count += 1
+        if len(self._buffer) > self._m_backlog_peak.value:
+            self._m_backlog_peak.set(len(self._buffer))
 
     def _flush_buffer(self) -> None:
         """Re-publish the backlog in order; raises if the broker drops again."""
@@ -143,6 +161,8 @@ class GatewayDaemon:
             self._buffer.popleft()
             self.republished_count += 1
             self.samples_published += 1
+            self._m_published.inc()
+            self._m_latency.observe(max(0.0, self.env.now - payload["t"]))
 
     def _drain_then_publish(self, payload: dict) -> None:
         """Deliver any backlog strictly before the live sample.
@@ -157,11 +177,14 @@ class GatewayDaemon:
             self.reconnects += 1
         self.client.publish(self.topic, payload, retain=True)
         self.samples_published += 1
+        self._m_published.inc()
+        self._m_latency.observe(max(0.0, self.env.now - payload["t"]))
 
     def _recover(self):
         """Bounded exponential backoff while the broker is down; keep
         sampling into the buffer at each probe so no telemetry interval
         is unaccounted."""
+        t0 = self.env.now
         backoff = self.retry_backoff_s
         while True:
             yield self.env.timeout(min(backoff, self.max_backoff_s))
@@ -171,9 +194,11 @@ class GatewayDaemon:
             try:
                 self._flush_buffer()
             except BrokerUnavailableError:
+                self._m_failures.inc()
                 backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
                 continue
             self.reconnects += 1
+            self._tracer.record("gateway.recover", t0, node=self.node.node_id)
             return
 
     def _run(self):
@@ -183,6 +208,7 @@ class GatewayDaemon:
                 try:
                     self._drain_then_publish(payload)
                 except BrokerUnavailableError:
+                    self._m_failures.inc()
                     self._buffer_sample(payload)
                     yield from self._recover()
             yield self.env.timeout(self.period_s)
@@ -229,6 +255,7 @@ class GatewayArray:
         noise_block: int = 256,
         start_delay_s: float = 0.0,
         seed: Optional[int] = None,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         """``powers_fn`` (optional) returns all true node powers as one
@@ -299,6 +326,16 @@ class GatewayArray:
         self.backoff_factor = float(backoff_factor)
         self.max_backoff_s = float(max_backoff_s)
         self._buffer: Deque[dict] = deque()
+        # -- observability (handles resolved once; no-op when disabled) --------
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._tracer = self.obs.tracer
+        self._m_published = m.counter("telemetry_samples_total", mode="array")
+        self._m_latency = m.histogram("telemetry_publish_latency_seconds", mode="array")
+        self._m_dropped_sensor = m.counter("telemetry_dropped_total", reason="sensor")
+        self._m_dropped_buffer = m.counter("telemetry_dropped_total", reason="buffer")
+        self._m_failures = m.counter("telemetry_publish_failures_total", mode="array")
+        self._m_backlog_peak = m.gauge("telemetry_backlog_peak_samples")
         self.task: PeriodicTask = env.periodic(
             self.period_s, self._tick, start_delay_s=start_delay_s, name="gateway-array"
         )
@@ -341,6 +378,7 @@ class GatewayArray:
         dropped = self.n - int(keep.sum())
         if dropped:
             self.samples_dropped_by_sensor += dropped
+            self._m_dropped_sensor.inc(dropped)
             if dropped == self.n:
                 return None
             ids = tuple(nid for nid, k in zip(self.node_ids, keep) if k)
@@ -354,9 +392,14 @@ class GatewayArray:
         # oldest sample — the same policy N daemons apply independently.
         if len(self._buffer) >= self.buffer_limit:
             oldest = self._buffer.popleft()
-            self.buffer_dropped_count += len(oldest["nodes"])
+            n_lost = len(oldest["nodes"])
+            self.buffer_dropped_count += n_lost
+            self._m_dropped_buffer.inc(n_lost)
         self._buffer.append(batch)
         self.buffered_count += len(batch["nodes"])
+        backlog = self.backlog
+        if backlog > self._m_backlog_peak.value:
+            self._m_backlog_peak.set(backlog)
 
     def _flush_backlog(self) -> None:
         while self._buffer:
@@ -366,16 +409,23 @@ class GatewayArray:
             n = len(batch["nodes"])
             self.republished_count += n
             self.samples_published += n
+            self._m_published.inc(n)
+            self._m_latency.observe(max(0.0, self.env.now - float(batch["t"][0])))
 
     def _drain_then_publish(self, batch: dict) -> None:
         """Backlog strictly before the live batch (see GatewayDaemon)."""
         if self._buffer:
             self._flush_backlog()
             self.reconnects += 1
-        self.client.publish(self.topic, batch, retain=True)
-        self.samples_published += len(batch["nodes"])
+        with self._tracer.span("mqtt.publish"):
+            self.client.publish(self.topic, batch, retain=True)
+        n = len(batch["nodes"])
+        self.samples_published += n
+        self._m_published.inc(n)
+        self._m_latency.observe(max(0.0, self.env.now - float(batch["t"][0])))
 
     def _recover(self):
+        t0 = self.env.now
         backoff = self.retry_backoff_s
         while True:
             yield self.env.timeout(min(backoff, self.max_backoff_s))
@@ -385,9 +435,11 @@ class GatewayArray:
             try:
                 self._flush_backlog()
             except BrokerUnavailableError:
+                self._m_failures.inc()
                 backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
                 continue
             self.reconnects += 1
+            self._tracer.record("gateway.recover", t0, nodes=self.n)
             # Live cadence resumes one full period after the reconnect
             # probe — exactly where a daemon's sampling loop lands.
             self.task.resume(delay_s=self.period_s)
@@ -397,12 +449,16 @@ class GatewayArray:
         batch = self._sample_batch()
         if batch is None:
             return
+        span = self._tracer.start("gateway.tick")
         try:
             self._drain_then_publish(batch)
         except BrokerUnavailableError:
+            self._m_failures.inc()
             self._buffer_batch(batch)
             self.task.suspend()
             self.env.process(self._recover(), name="gateway-array-recover")
+        finally:
+            self._tracer.finish(span.set(samples=len(batch["nodes"])))
 
 
 class CappingAgent:
@@ -425,6 +481,7 @@ class CappingAgent:
         actuation_delay_s: float = 0.01,
         topic_prefix: str = "davide",
         batch_topic: Optional[str] = None,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         if legacy:
@@ -449,6 +506,9 @@ class CappingAgent:
         self.actuations = 0
         self.capped = False
         self._pending = False
+        self.obs = obs if obs is not None else null_observability()
+        self._tracer = self.obs.tracer
+        self._m_actuations = self.obs.metrics.counter("cap_actuations_total")
 
     @property
     def setpoint_w(self) -> float:
@@ -479,8 +539,13 @@ class CappingAgent:
 
     def _actuate(self, cap_w: float | None):
         # Firmware/actuation latency before the new limits take effect.
+        t0 = self.env.now
         yield self.env.timeout(self.actuation_delay_s)
         self.node.apply_power_cap(cap_w)
         self.capped = cap_w is not None
         self.actuations += 1
         self._pending = False
+        self._m_actuations.inc()
+        self._tracer.record(
+            "cap.actuate", t0, node=self.node.node_id, engaged=self.capped
+        )

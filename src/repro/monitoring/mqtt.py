@@ -266,11 +266,32 @@ class MqttBroker:
         self.delivered_count = 0
         self._online = True
         self.rejected_count = 0
+        # Optional metric handles (see bind_observability); None keeps the
+        # publish hot path free of even a no-op call.
+        self._m_published = None
+        self._m_delivered = None
+        self._m_rejected = None
         # Publish-path fast cache: topic -> matching subscriptions.  The
         # telemetry plane publishes to the same small topic set millions
         # of times per run; the trie walk is only paid on the first
         # publish after any subscription change.
         self._match_cache: dict[str, list[Subscription]] = {}
+
+    def bind_observability(self, obs) -> None:
+        """Mirror broker counters into an observability registry.
+
+        ``obs`` is a :class:`repro.observability.Observability`; binding a
+        disabled one (or never binding) leaves the publish path untouched.
+        """
+        if not obs.enabled:
+            return
+        m = obs.metrics
+        self._m_published = m.counter("mqtt_messages_published_total")
+        self._m_delivered = m.counter("mqtt_messages_delivered_total")
+        self._m_rejected = m.counter("mqtt_messages_rejected_total")
+        self._m_published.inc(self.published_count)
+        self._m_delivered.inc(self.delivered_count)
+        self._m_rejected.inc(self.rejected_count)
 
     # -- availability (fault injection) ---------------------------------------
     @property
@@ -348,6 +369,8 @@ class MqttBroker:
         """
         if not self._online:
             self.rejected_count += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             raise BrokerUnavailableError(f"broker offline: cannot publish to {topic!r}")
         subs = self._match_cache.get(topic)
         if subs is None:
@@ -367,6 +390,9 @@ class MqttBroker:
                 self._retained[topic] = msg
         self.published_count += 1
         self.delivered_count += len(subs)
+        if self._m_published is not None:
+            self._m_published.inc()
+            self._m_delivered.inc(len(subs))
         for sub in subs:
             sub.client._deliver(msg, sub.qos)
         return msg

@@ -15,6 +15,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..observability import Observability
 from ..sim.engine import Environment
 from .daemon import BatchSensorFault, GatewayArray, GatewayDaemon, SensorFault
 from .mqtt import Message, MqttBroker, MqttClient
@@ -48,6 +49,7 @@ class TelemetryPlane:
         clocks: Optional[Sequence[Callable[[float], float]]] = None,
         clock_fn: Optional[Callable[[float], np.ndarray]] = None,
         powers_fn: Optional[Callable[[], np.ndarray]] = None,
+        obs: Optional[Observability] = None,
         **gateway_kw,
     ):
         self.env = env
@@ -55,6 +57,9 @@ class TelemetryPlane:
         self.nodes = list(nodes)
         self.topic_prefix = topic_prefix
         self.batched = bool(batched)
+        self.obs = obs
+        if obs is not None:
+            gateway_kw["obs"] = obs
         if self.batched:
             self.gateways: list[GatewayDaemon] = []
             self.array: Optional[GatewayArray] = GatewayArray(

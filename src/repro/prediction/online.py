@@ -11,8 +11,11 @@ seasonal input changes) that a frozen batch fit would mispredict.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..observability import Observability, null_observability
 from ..scheduler.job import Job, JobRecord
 from .features import FeatureEncoder
 
@@ -82,6 +85,7 @@ class OnlineJobPowerModel:
         lam: float = 0.995,
         prior_per_node_w: float = 1800.0,
         min_samples: int = 10,
+        obs: Optional[Observability] = None,
     ):
         if prior_per_node_w <= 0:
             raise ValueError("prior must be positive")
@@ -91,6 +95,13 @@ class OnlineJobPowerModel:
         self.rls = OnlineRidge(encoder.n_features, lam=lam)
         self.prior_per_node_w = float(prior_per_node_w)
         self.min_samples = int(min_samples)
+        # Observability handles, resolved once (no-op when not wired in).
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._m_updates = m.counter("predictor_updates_total")
+        self._m_abs_error = m.histogram(
+            "predictor_abs_error_w", bounds=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0)
+        )
 
     def observe(self, record: JobRecord) -> float:
         """Learn from one finished job; returns the pre-update error (W)."""
@@ -101,7 +112,10 @@ class OnlineJobPowerModel:
             return 0.0
         measured_per_node = record.energy_j / duration / len(record.nodes)
         x = self.encoder.encode(record.job)
-        return self.rls.update(x, measured_per_node)
+        error = self.rls.update(x, measured_per_node)
+        self._m_updates.inc()
+        self._m_abs_error.observe(abs(error))
+        return error
 
     def predict_per_node(self, job: Job) -> float:
         """Per-node prediction, clipped to the physical range."""

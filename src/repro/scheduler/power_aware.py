@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
+from ..observability import Observability, null_observability
 
 from .job import Job, JobRecord
 from .policies import EasyBackfillScheduler, SchedulerContext
@@ -56,6 +57,7 @@ class PowerAwareScheduler:
         predictor: PowerPredictor | None = None,
         idle_node_power_w: float = 300.0,
         headroom_margin: float = 0.03,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         if legacy:
@@ -74,6 +76,12 @@ class PowerAwareScheduler:
         self.headroom_margin = float(headroom_margin)
         self._backfill = EasyBackfillScheduler()
         self.name = "power-aware"
+        # Observability handles, resolved once (no-op when not wired in).
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._m_select = m.counter("scheduler_select_calls_total")
+        self._m_admitted = m.counter("scheduler_admitted_total")
+        self._m_backfilled = m.counter("scheduler_backfills_total")
 
     @property
     def power_budget_w(self) -> float:
@@ -108,6 +116,7 @@ class PowerAwareScheduler:
     # -- policy interface ---------------------------------------------------------
     def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
         """Start jobs under both the node constraint and the power envelope."""
+        self._m_select.inc()
         started: list[JobRecord] = []
         free = len(ctx.free_nodes)
         queue = list(queue)
@@ -126,6 +135,7 @@ class PowerAwareScheduler:
                 break
             queue.pop(0)
             started.append(rec)
+            self._m_admitted.inc()
             free -= rec.job.n_nodes
             headroom -= marginal_power(rec)
         if not queue:
@@ -139,6 +149,7 @@ class PowerAwareScheduler:
         if not started and not ctx.running and head.job.n_nodes <= free:
             idle_rest = (ctx.total_nodes - head.job.n_nodes) * self.idle_node_power_w
             if self._predicted(head) + idle_rest > self._effective_budget():
+                self._m_admitted.inc()
                 return [head]
         # Phase 2: head reservations.  Node reservation time from requested
         # walltimes; power reservation: the head's marginal power is held
@@ -180,6 +191,7 @@ class PowerAwareScheduler:
             fits_spare = rec.job.n_nodes <= spare_at_res
             if finishes_before or fits_spare:
                 started.append(rec)
+                self._m_backfilled.inc()
                 shadow_free -= rec.job.n_nodes
                 backfill_headroom -= marginal_power(rec)
                 if not finishes_before:

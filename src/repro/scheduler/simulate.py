@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
+from ..observability import Observability, null_observability
 from ..power.trace import PowerTrace
 from .job import Job, JobRecord, JobState
 from .policies import SchedulerContext, SchedulingPolicy
@@ -127,6 +128,7 @@ class ClusterSimulator:
         on_job_end=None,
         node_outages: Sequence[NodeOutage] = (),
         on_job_requeue=None,
+        obs: Optional[Observability] = None,
         **legacy,
     ):
         """``cap_w`` is the reactive RAPL-style trim threshold (the old
@@ -162,6 +164,14 @@ class ClusterSimulator:
         self.on_job_end = on_job_end
         self.node_outages = tuple(sorted(node_outages, key=lambda o: (o.at_s, o.node_id)))
         self.on_job_requeue = on_job_requeue
+        # Observability handles, resolved once (no-op when not wired in).
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._m_decisions = m.counter("scheduler_decisions_total")
+        self._m_started = m.counter("scheduler_jobs_started_total")
+        self._m_completed = m.counter("scheduler_jobs_completed_total")
+        self._m_requeued = m.counter("scheduler_jobs_requeued_total")
+        self._m_overdemand = m.counter("cap_violation_seconds_total")
 
     @property
     def reactive_cap_w(self) -> Optional[float]:
@@ -255,6 +265,8 @@ class ClusterSimulator:
                 rec.start_time_s = now
                 queue.remove(rec)
                 running.append(_Running(record=rec, remaining_work_s=rec.job.true_runtime_s))
+                self._m_decisions.inc()
+                self._m_started.inc()
                 if self.on_job_start is not None:
                     self.on_job_start(rec)
 
@@ -281,6 +293,7 @@ class ClusterSimulator:
                 total_energy += system_power * dt
                 if self.cap_w is not None and demand > self.cap_w:
                     overdemand_s += dt
+                    self._m_overdemand.inc(dt)
                 busy_node_seconds += dt * sum(r.record.job.n_nodes for r in running)
                 for r in running:
                     r.remaining_work_s -= dt * r.speed
@@ -298,6 +311,7 @@ class ClusterSimulator:
                 r.record.end_time_s = now
                 free_nodes |= set(r.record.nodes)
                 completed += 1
+                self._m_completed.inc()
                 if self.on_job_end is not None:
                     self.on_job_end(r.record)
             # Node repairs: the node rejoins the free pool.
@@ -335,6 +349,7 @@ class ClusterSimulator:
                         rec.start_time_s = None
                         rec.requeues += 1
                         n_requeues += 1
+                        self._m_requeued.inc()
                         queue.append(rec)
                         queue.sort(key=lambda q: (q.job.submit_time_s, q.job.job_id))
                         if self.on_job_requeue is not None:

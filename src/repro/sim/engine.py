@@ -425,6 +425,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = 0
+        self._dispatched = 0
         self.hooks = hooks
 
     def attach_hooks(self, hooks: KernelHooks) -> None:
@@ -435,6 +436,16 @@ class Environment:
     def now(self) -> float:
         """Current simulated time (seconds by convention in this repo)."""
         return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Events popped and processed since construction (kernel load)."""
+        return self._dispatched
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently pending on the heap."""
+        return len(self._queue)
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -492,6 +503,7 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self._dispatched += 1
         if self.hooks is not None and self.hooks.on_dispatch is not None:
             self.hooks.on_dispatch(event, when)
         callbacks, event.callbacks = event.callbacks, []
@@ -535,6 +547,7 @@ class Environment:
                 return None
             when, _, event = heappop(queue)
             self._now = when
+            self._dispatched += 1
             hooks = self.hooks
             if hooks is not None and hooks.on_dispatch is not None:
                 hooks.on_dispatch(event, when)

@@ -34,6 +34,9 @@ class JobEnergyBill:
     mean_power_w: float
     duration_s: float
     cost: float
+    #: Fraction of the job's nodes whose energy came from measurements
+    #: (the rest fell back to the simulator's accounted share).
+    measured_fraction: float = 1.0
 
     @property
     def energy_kwh(self) -> float:
@@ -70,33 +73,53 @@ class EnergyAccountant:
         """The TSDB series carrying one node's power."""
         return SeriesKey.of(self.metric, node=str(node_id))
 
-    def job_energy_j(self, record: JobRecord) -> float:
-        """Measured energy of one finished job from the node power series.
+    def _energy_and_coverage(self, record: JobRecord) -> tuple[float, float]:
+        """(energy_j, measured_fraction) for one finished job.
 
         Integrates each allocated node's measured power over
-        [start, end].  Falls back to the simulator's accounted energy
-        when no measurements cover the interval (e.g. monitoring outage).
+        [start, end].  Nodes whose series is missing or too sparse to
+        integrate (a monitoring outage) fall back *per node* to an equal
+        share of the simulator's accounted energy,
+        ``record.energy_j / len(record.nodes)`` — a partial outage used
+        to silently drop the uncovered nodes' energy and undercount the
+        bill.  The second element is the fraction of nodes that were
+        actually measured (1.0 = fully measured, 0.0 = pure fallback).
         """
         if record.start_time_s is None or record.end_time_s is None:
             raise ValueError(f"job {record.job.job_id} has not finished")
+        n_nodes = len(record.nodes)
+        if n_nodes == 0:
+            return record.energy_j, 1.0
+        fallback_share = record.energy_j / n_nodes
         total = 0.0
-        measured_any = False
+        covered = 0
         for node_id in record.nodes:
             key = self.node_key(node_id)
             try:
                 trace = self.db.query_trace(key, record.start_time_s, record.end_time_s)
             except KeyError:
-                continue
-            if len(trace) >= 2:
+                trace = None
+            if trace is not None and len(trace) >= 2:
                 total += trace.energy_j()
-                measured_any = True
-        if not measured_any:
-            return record.energy_j
-        return total
+                covered += 1
+            else:
+                total += fallback_share
+        return total, covered / n_nodes
+
+    def job_energy_j(self, record: JobRecord) -> float:
+        """Measured energy of one finished job from the node power series.
+
+        Integrates each allocated node's measured power over
+        [start, end]; nodes without usable measurements contribute an
+        equal share of the simulator's accounted energy instead (see
+        :meth:`_energy_and_coverage`), so a partial monitoring outage no
+        longer undercounts the bill.
+        """
+        return self._energy_and_coverage(record)[0]
 
     def bill(self, record: JobRecord) -> JobEnergyBill:
-        """Produce one job's bill."""
-        energy = self.job_energy_j(record)
+        """Produce one job's bill (with its measurement coverage)."""
+        energy, measured_fraction = self._energy_and_coverage(record)
         duration = record.actual_runtime_s
         return JobEnergyBill(
             job_id=record.job.job_id,
@@ -106,6 +129,7 @@ class EnergyAccountant:
             mean_power_w=energy / duration if duration > 0 else 0.0,
             duration_s=duration,
             cost=energy / 3.6e6 * self.price_per_kwh,
+            measured_fraction=measured_fraction,
         )
 
     def statements(self, records: list[JobRecord]) -> dict[str, UserStatement]:

@@ -68,6 +68,29 @@ class PowerProfiler:
         self.trace = trace
         self.clock_offset_s = float(clock_offset_s)
 
+    def _window_energy(self, t0: float, t1: float) -> float:
+        """Trapezoidal energy over [t0, t1] with interpolated boundaries.
+
+        Slicing the trace to on-grid samples loses the partial intervals
+        between each window edge and its nearest inner sample — up to one
+        sample period of energy per edge, a systematic undercount for
+        regions not aligned to the sampling grid.  Splice interpolated
+        boundary samples ``value_at(t0)`` / ``value_at(t1)`` around the
+        strictly-interior samples, so the integral covers the full
+        marker window.
+        """
+        if t1 <= t0:
+            return 0.0
+        t = self.trace.times_s
+        p = self.trace.power_w
+        # Strictly-interior samples; edge-exact samples are re-created by
+        # the interpolated boundary points (same value, no duplicates).
+        lo = int(np.searchsorted(t, t0, side="right"))
+        hi = int(np.searchsorted(t, t1, side="left"))
+        ts = np.concatenate(([t0], t[lo:hi], [t1]))
+        ps = np.concatenate(([self.trace.value_at(t0)], p[lo:hi], [self.trace.value_at(t1)]))
+        return float(np.trapezoid(ps, ts))
+
     def profile(self, markers: list[PhaseMarker]) -> dict[str, RegionProfile]:
         """Aggregate energy/time per region name."""
         if not markers:
@@ -76,11 +99,7 @@ class PowerProfiler:
         for m in markers:
             t0 = m.t_enter_s + self.clock_offset_s
             t1 = m.t_exit_s + self.clock_offset_s
-            window = self.trace.slice(t0, t1)
-            if len(window) >= 2:
-                energy = window.energy_j()
-            else:
-                energy = self.trace.value_at((t0 + t1) / 2) * m.duration_s
+            energy = self._window_energy(t0, t1)
             acc.setdefault(m.region, []).append((m.duration_s, energy))
         return {
             region: RegionProfile(

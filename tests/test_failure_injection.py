@@ -46,8 +46,13 @@ class TestMonitoringOutage:
         rec = JobRecord(job=job)
         rec.start_time_s, rec.end_time_s, rec.nodes = 0.0, 10.0, (0, 1)
         rec.energy_j = 20000.0
-        # Measured-but-partial beats nothing: the surviving node's 10 kJ.
-        assert acct.job_energy_j(rec) == pytest.approx(10000.0)
+        # The surviving node's 10 kJ is measured; the dark node falls
+        # back to its equal share of the simulator-accounted energy
+        # (10 kJ) instead of being silently billed as zero.
+        assert acct.job_energy_j(rec) == pytest.approx(20000.0)
+        bill = acct.bill(rec)
+        assert bill.measured_fraction == pytest.approx(0.5)
+        assert bill.energy_j == pytest.approx(20000.0)
 
 
 class TestTelemetryConsumerFailures:
