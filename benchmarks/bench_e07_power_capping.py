@@ -15,12 +15,15 @@ import pytest
 
 from repro.prediction import JobPowerModel, chronological_split
 from repro.scheduler import (
+    CampaignConfig,
     ClusterSimulator,
     EasyBackfillScheduler,
     PowerAwareScheduler,
+    Scenario,
     WorkloadConfig,
     WorkloadGenerator,
     request_based_predictor,
+    run_campaign,
 )
 
 N_NODES = 45
@@ -108,3 +111,48 @@ def test_e07a_predictor_quality_ablation(benchmark, table):
     # wastes budget and queues jobs the trained model admits.
     assert runs["oracle"].mean_wait_s() <= runs["nameplate (2 kW/node)"].mean_wait_s()
     assert runs["trained ridge"].mean_wait_s() <= runs["nameplate (2 kW/node)"].mean_wait_s()
+
+
+def _campaign_three_way(seeds=(0, 1, 2)):
+    """The A3 comparison across seeds via the parallel campaign runner."""
+    config = CampaignConfig(
+        n_nodes=N_NODES, n_jobs=120, root_seed=7, load_factor=1.15
+    )
+    grid = [
+        Scenario(policy=policy, cap_w=cap, budget_w=budget, seed_index=s, label=label)
+        for s in seeds
+        for label, policy, cap, budget in [
+            ("uncapped (EASY)", "easy", None, None),
+            ("reactive only", "easy", BUDGET_W, None),
+            ("proactive only", "power-aware", None, BUDGET_W),
+            ("combined", "power-aware", BUDGET_W, BUDGET_W),
+        ]
+    ]
+    return run_campaign(config, grid)
+
+
+def test_e07b_campaign_three_way_multiseed(benchmark, table):
+    results = benchmark(_campaign_three_way)
+    by_label: dict[str, list] = {}
+    for r in results:
+        by_label.setdefault(r.scenario.label, []).append(r.qos)
+    mean = lambda label, key: float(np.mean([q[key] for q in by_label[label]]))
+    table(
+        "E07b: three-way comparison, mean over 3 seeds (campaign runner)",
+        ["policy", "peak [kW]", "mean wait [min]", "stretch"],
+        [
+            [label, f"{mean(label, 'peak_power_w') / 1e3:.1f}",
+             f"{mean(label, 'mean_wait_s') / 60:.1f}",
+             f"{mean(label, 'mean_stretch'):.3f}"]
+            for label in by_label
+        ],
+    )
+    # The paired comparisons hold seed by seed, not just on average: the
+    # same seed_index yields the same workload in every cell.
+    for i, qos in enumerate(by_label["uncapped (EASY)"]):
+        assert qos["peak_power_w"] > BUDGET_W
+        assert by_label["reactive only"][i]["peak_power_w"] <= BUDGET_W * 1.001
+        assert by_label["reactive only"][i]["mean_stretch"] > 1.0
+        assert by_label["proactive only"][i]["peak_power_w"] <= BUDGET_W * 1.001
+        assert by_label["proactive only"][i]["mean_stretch"] == pytest.approx(1.0)
+        assert by_label["combined"][i]["mean_stretch"] == pytest.approx(1.0, abs=0.02)

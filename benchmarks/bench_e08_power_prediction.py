@@ -10,7 +10,13 @@ import numpy as np
 import pytest
 
 from repro.prediction import JobPowerModel, chronological_split, evaluate_model
-from repro.scheduler import WorkloadConfig, WorkloadGenerator
+from repro.scheduler import (
+    CampaignConfig,
+    Scenario,
+    WorkloadConfig,
+    WorkloadGenerator,
+    run_campaign,
+)
 
 
 def _train_and_score():
@@ -66,3 +72,47 @@ def test_e08_power_prediction(benchmark, table):
     # wasteful — only the rare >2 kW/node outlier run slips past it).
     assert scores["nameplate"].underprediction_rate < 0.05
     assert scores["nameplate"].bias_w > 200.0
+
+
+def _dispatch_quality_campaign(seeds=(0, 1)):
+    """Downstream view of E08: predictor quality as *scheduler* QoS.
+
+    Each cell trains (where applicable) on the chronological head 40% of
+    its seed's workload and dispatches the held-out tail under the same
+    envelope — the campaign-runner version of E07a, over multiple seeds.
+    """
+    config = CampaignConfig(n_nodes=45, n_jobs=220, root_seed=3, load_factor=1.15)
+    budget = 52e3
+    grid = [
+        Scenario(policy="power-aware", cap_w=budget, seed_index=s,
+                 predictor=spec, train_fraction=0.4, label=label)
+        for s in seeds
+        for label, spec in [("oracle", "oracle"),
+                            ("trained ridge", "ridge"),
+                            ("nameplate (2 kW/node)", "nameplate:2000")]
+    ]
+    return run_campaign(config, grid)
+
+
+def test_e08a_dispatch_quality_campaign(benchmark, table):
+    results = benchmark(_dispatch_quality_campaign)
+    by_label: dict[str, list] = {}
+    for r in results:
+        by_label.setdefault(r.scenario.label, []).append(r.qos)
+    mean_wait = {
+        label: float(np.mean([q["mean_wait_s"] for q in qos_list]))
+        for label, qos_list in by_label.items()
+    }
+    table(
+        "E08a: scheduler QoS vs predictor quality, mean over 2 seeds",
+        ["predictor", "mean wait [min]", "slowdown"],
+        [
+            [label, f"{mean_wait[label] / 60:.1f}",
+             f"{np.mean([q['mean_bounded_slowdown'] for q in by_label[label]]):.2f}"]
+            for label in by_label
+        ],
+    )
+    # Averaged over seeds, better predictions give shorter queues than
+    # the budget-wasting nameplate assumption.
+    assert mean_wait["oracle"] <= mean_wait["nameplate (2 kW/node)"]
+    assert mean_wait["trained ridge"] <= mean_wait["nameplate (2 kW/node)"]

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Scale sweep of the scheduler hot path: event-calendar vs reference core.
+
+Runs power-capped and uncapped scheduling across (nodes × jobs) points
+with both :class:`~repro.scheduler.ClusterSimulator` cores and records
+for each point:
+
+* wall-clock seconds and jobs/s for the calendar core and the naive
+  ``reference=True`` loop, and the speedup between them;
+* the result content digest of both cores, to prove the calendar core
+  replays the reference float-for-float at equal seeds (the DESIGN.md
+  §9 equivalence contract) — the speedup claim is meaningless if the
+  fast core computes something else;
+* a campaign-runner scaling measurement: a fixed policy×cap×seed grid
+  through ``run_campaign`` serially and with a process pool, with the
+  merged-campaign digests compared (pool size must not change results).
+
+The reference core is O(running) per event, so it is skipped above
+``--max-ref-jobs`` (the calendar core still runs and reports
+throughput there).
+
+Run:  python benchmarks/bench_sched.py [--points 64x2000,1024x50000]
+                                       [--out BENCH_sched.json]
+
+Writes ``BENCH_sched.json`` at the repo root by default; the
+``--check-against`` gate fails on a >tolerance speedup regression
+against a committed baseline (ratio of ratios, so runner speed cancels
+out) and on any digest mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.scheduler import (  # noqa: E402
+    CampaignConfig,
+    ClusterSimulator,
+    EasyBackfillScheduler,
+    FifoScheduler,
+    Scenario,
+    WorkloadConfig,
+    WorkloadGenerator,
+    campaign_digest,
+    result_digest,
+    run_campaign,
+)
+
+SEED = 2026
+#: Comfortable budget share per node: capped runs actually trim without
+#: pinning every job at the floor.
+BUDGET_PER_NODE_W = 1150.0
+
+#: (mode name, policy factory, capped?) — one uncapped and one capped
+#: family, so the sweep covers both the trim-idle and trim-active paths.
+MODES = (
+    ("fifo_uncapped", FifoScheduler, False),
+    ("easy_capped", EasyBackfillScheduler, True),
+)
+
+
+def make_jobs(n_nodes: int, n_jobs: int) -> list:
+    return WorkloadGenerator(
+        WorkloadConfig(n_jobs=n_jobs, cluster_nodes=n_nodes, load_factor=0.9),
+        rng=np.random.default_rng(SEED),
+    ).generate()
+
+
+def run_core(jobs, n_nodes: int, policy_factory, capped: bool, reference: bool,
+             repeats: int = 1, budget_s: float = 30.0) -> dict:
+    """Best-of-``repeats`` wall time, stopping once ``budget_s`` of
+    measurement has accumulated (short points are noise-dominated
+    single-shot; multi-minute points are long enough to time once).
+    A fresh simulator per repeat keeps runs independent."""
+    wall_s = float("inf")
+    spent = 0.0
+    result = None
+    for _ in range(max(repeats, 1)):
+        sim = ClusterSimulator(
+            n_nodes=n_nodes,
+            policy=policy_factory(),
+            cap_w=BUDGET_PER_NODE_W * n_nodes if capped else None,
+            reference=reference,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(jobs)
+        w = time.perf_counter() - t0
+        wall_s = min(wall_s, w)
+        spent += w
+        if spent >= budget_s:
+            break
+    return {
+        "core": "reference" if reference else "calendar",
+        "wall_s": round(wall_s, 4),
+        "jobs_per_s": round(len(jobs) / wall_s, 1),
+        "digest": result_digest(result),
+        "makespan_s": round(float(result.makespan_s), 1),
+        "mean_stretch": round(result.mean_stretch(), 4),
+    }
+
+
+def warmup() -> None:
+    """Import both cores and warm allocator/caches before timing.
+
+    Without this the first timed run absorbs the lazy calendar-module
+    import and first-touch costs, skewing whichever core runs first.
+    """
+    jobs = make_jobs(16, 200)
+    for reference in (False, True):
+        run_core(jobs, 16, FifoScheduler, capped=True, reference=reference)
+
+
+def bench_point(n_nodes: int, n_jobs: int, max_ref_jobs: int,
+                repeats: int = 1, budget_s: float = 30.0,
+                ) -> tuple[list[dict], dict[str, float], dict[str, bool]]:
+    """All modes × cores at one sweep point."""
+    jobs = make_jobs(n_nodes, n_jobs)
+    runs, speedups, digests_equal = [], {}, {}
+    for mode, policy_factory, capped in MODES:
+        fast = run_core(jobs, n_nodes, policy_factory, capped, reference=False,
+                        repeats=repeats, budget_s=budget_s)
+        rec = {"point": f"{n_nodes}x{n_jobs}", "mode": mode,
+               "n_nodes": n_nodes, "n_jobs": n_jobs}
+        runs.append({**rec, **fast})
+        if n_jobs <= max_ref_jobs:
+            ref = run_core(jobs, n_nodes, policy_factory, capped, reference=True,
+                           repeats=repeats, budget_s=budget_s)
+            runs.append({**rec, **ref})
+            speedup = ref["wall_s"] / fast["wall_s"]
+            speedups[mode] = round(speedup, 2)
+            digests_equal[mode] = fast["digest"] == ref["digest"]
+            print(f"n={n_nodes:5d} jobs={n_jobs:6d} {mode:>13}: "
+                  f"calendar {fast['wall_s']:8.2f} s vs reference "
+                  f"{ref['wall_s']:8.2f} s -> {speedup:5.2f}x "
+                  f"(digests {'EQUAL' if digests_equal[mode] else 'DIFFER'})")
+        else:
+            print(f"n={n_nodes:5d} jobs={n_jobs:6d} {mode:>13}: "
+                  f"calendar {fast['wall_s']:8.2f} s "
+                  f"({fast['jobs_per_s']:,.0f} jobs/s; reference skipped)")
+    return runs, speedups, digests_equal
+
+
+def bench_campaign(processes: int) -> dict:
+    """Fixed grid, serial vs pooled; digests must match exactly."""
+    config = CampaignConfig(n_nodes=64, n_jobs=1000, root_seed=SEED, load_factor=0.9)
+    grid = [
+        Scenario(policy=policy, cap_w=BUDGET_PER_NODE_W * 64 if capped else None,
+                 seed_index=seed)
+        for policy in ("fifo", "easy")
+        for capped in (False, True)
+        for seed in (0, 1)
+    ]
+    t0 = time.perf_counter()
+    serial = run_campaign(config, grid, processes=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = run_campaign(config, grid, processes=processes)
+    pooled_s = time.perf_counter() - t0
+    equal = campaign_digest(serial) == campaign_digest(pooled)
+    speedup = serial_s / pooled_s
+    print(f"campaign ({len(grid)} cells): serial {serial_s:.2f} s vs "
+          f"pool({processes}) {pooled_s:.2f} s -> {speedup:.2f}x on "
+          f"{os.cpu_count()} cores (digests {'EQUAL' if equal else 'DIFFER'})")
+    return {
+        "n_cells": len(grid),
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "pooled_wall_s": round(pooled_s, 3),
+        "pool_speedup": round(speedup, 2),
+        "digests_equal": equal,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", default="64x1000,64x2000,256x10000,1024x50000,1024x100000",
+                        help="comma-separated NODESxJOBS sweep points")
+    parser.add_argument("--max-ref-jobs", type=int, default=50_000,
+                        help="skip the reference core above this job count")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing per core (default 5)")
+    parser.add_argument("--repeat-budget-s", type=float, default=30.0,
+                        help="stop repeating a core once this much "
+                             "measurement time has accumulated (default 30)")
+    parser.add_argument("--campaign-processes", type=int, default=4,
+                        help="pool size for the campaign scaling measurement")
+    parser.add_argument("--skip-campaign", action="store_true",
+                        help="only run the core sweep")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_sched.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE.json",
+                        help="fail if a core speedup regressed vs this baseline "
+                             "report (ratio-of-ratios, so runner speed cancels "
+                             "out) or any digest pair diverged")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression (default 0.25)")
+    args = parser.parse_args(argv)
+    points = []
+    for token in args.points.split(","):
+        if token:
+            n, j = token.lower().split("x")
+            points.append((int(n), int(j)))
+
+    warmup()
+    runs: list[dict] = []
+    speedups: dict[str, dict[str, float]] = {}
+    digests_equal: dict[str, dict[str, bool]] = {}
+    for n_nodes, n_jobs in points:
+        point_runs, point_speedups, point_equal = bench_point(
+            n_nodes, n_jobs, args.max_ref_jobs,
+            repeats=args.repeats, budget_s=args.repeat_budget_s)
+        runs += point_runs
+        key = f"{n_nodes}x{n_jobs}"
+        if point_speedups:
+            speedups[key] = point_speedups
+            digests_equal[key] = point_equal
+
+    campaign = None if args.skip_campaign else bench_campaign(args.campaign_processes)
+
+    report = {
+        "seed": SEED,
+        "points": [f"{n}x{j}" for n, j in points],
+        "runs": runs,
+        "core_speedup_by_point": speedups,
+        "digests_equal_by_point": digests_equal,
+        "campaign": campaign,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    ok = all(all(v.values()) for v in digests_equal.values())
+    if not ok:
+        print("ERROR: calendar and reference result digests diverged", file=sys.stderr)
+    if campaign is not None and not campaign["digests_equal"]:
+        print("ERROR: campaign digests depend on pool size", file=sys.stderr)
+        ok = False
+
+    if args.check_against:
+        baseline = json.loads(Path(args.check_against).read_text())
+        base_speedups = baseline.get("core_speedup_by_point", {})
+        for key, by_mode in speedups.items():
+            for mode, measured in by_mode.items():
+                expected = base_speedups.get(key, {}).get(mode)
+                if expected is None:
+                    continue
+                floor = expected * (1.0 - args.tolerance)
+                status = "ok" if measured >= floor else "REGRESSED"
+                print(f"speedup check {key}/{mode}: measured {measured:.2f}x vs "
+                      f"baseline {expected:.2f}x (floor {floor:.2f}x) -> {status}")
+                if measured < floor:
+                    ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

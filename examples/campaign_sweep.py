@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Campaign sweep: a policy × cap × seed grid on the parallel runner.
+
+Fans 12 scheduling scenarios (3 policies × 2 power caps × 2 seeds)
+across a deterministic multiprocessing pool, merges the results in
+submission order, and shows that the merged campaign digest is
+identical to a serial run — same grid, same answer, any pool size.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import os
+import time
+
+from repro.scheduler import CampaignConfig, Scenario, campaign_digest, run_campaign
+
+BUDGET_W = 20e3
+
+
+def main() -> None:
+    # 1. One workload/machine shape for the whole campaign; each
+    #    seed_index derives its own job stream from the root seed, and
+    #    every policy/cap cell at the same seed_index sees the *same*
+    #    stream (paired comparisons).
+    config = CampaignConfig(n_nodes=16, n_jobs=80, root_seed=2026, load_factor=1.1)
+    grid = [
+        Scenario(policy=policy, cap_w=cap, budget_w=BUDGET_W if policy == "power-aware" else None,
+                 seed_index=seed, label=f"{policy}/{'cap' if cap else 'uncapped'}/s{seed}")
+        for policy in ("fifo", "easy", "power-aware")
+        for cap in (None, BUDGET_W)
+        for seed in (0, 1)
+    ]
+    print(f"grid: {len(grid)} scenarios on {config.n_nodes} nodes, "
+          f"{config.n_jobs} jobs each")
+
+    # 2. Serial run (the determinism oracle), then the pool.
+    t0 = time.perf_counter()
+    serial = run_campaign(config, grid, processes=1)
+    t_serial = time.perf_counter() - t0
+    n_proc = min(4, os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    pooled = run_campaign(config, grid, processes=n_proc)
+    t_pool = time.perf_counter() - t0
+
+    # 3. The merged results are bitwise the same.
+    d_serial, d_pool = campaign_digest(serial), campaign_digest(pooled)
+    assert d_serial == d_pool, "pool size changed the campaign results"
+    print(f"serial: {t_serial:.2f} s | pool({n_proc}): {t_pool:.2f} s | "
+          f"digest {d_serial[:16]}… (identical)")
+
+    # 4. QoS table, seed-averaged per cell.
+    print(f"\n{'scenario':<24}{'peak kW':>9}{'wait min':>10}{'stretch':>9}")
+    for r in pooled:
+        q = r.qos
+        print(f"{r.scenario.label:<24}{q['peak_power_w'] / 1e3:>9.1f}"
+              f"{q['mean_wait_s'] / 60:>10.1f}{q['mean_stretch']:>9.3f}")
+
+    # 5. The reactive-capped cells stretch running jobs; the proactive
+    #    dispatcher reorders instead, so its jobs run unstretched (its
+    #    uncapped cells may still spike when a job too hungry for the
+    #    envelope is admitted through the over-budget escape hatch —
+    #    that's what the reactive backstop is for).
+    reactive = [r for r in pooled if r.scenario.policy == "easy" and r.scenario.cap_w]
+    proactive = [r for r in pooled if r.scenario.policy == "power-aware" and not r.scenario.cap_w]
+    print(f"\nreactive stretch {max(r.qos['mean_stretch'] for r in reactive):.3f} vs "
+          f"proactive {max(r.qos['mean_stretch'] for r in proactive):.3f}")
+
+
+if __name__ == "__main__":
+    main()

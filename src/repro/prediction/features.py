@@ -84,6 +84,35 @@ class FeatureEncoder:
             raise ValueError("empty job list")
         return np.vstack([self.encode(j) for j in jobs])
 
+    def encode_batch(self, jobs: list[Job]) -> np.ndarray:
+        """Vectorized :meth:`encode_all`: one (n_jobs, n_features) matrix
+        built column-block-wise with no per-job Python vector assembly.
+
+        Row ``i`` equals ``encode(jobs[i])`` up to float rounding (the
+        numeric transforms are ufunc-evaluated; one-hot blocks are
+        exact), so per-job and batch predictions agree to ``allclose``.
+        """
+        self._require_fitted()
+        if not jobs:
+            raise ValueError("empty job list")
+        n = len(jobs)
+        out = np.zeros((n, self.n_features))
+        out[:, 0] = np.log2(np.fromiter((j.n_nodes for j in jobs), float, count=n))
+        out[:, 1] = np.log10(np.fromiter((j.walltime_req_s for j in jobs), float, count=n))
+        out[:, 2] = np.log2(np.fromiter((j.threads_per_rank for j in jobs), float, count=n))
+        out[:, 3] = np.fromiter((1.0 if j.uses_gpus else 0.0 for j in jobs), float, count=n)
+        app_base, user_base = 4, 4 + len(self._apps)
+        rows = np.arange(n)
+        app_idx = np.fromiter(
+            (self._apps.get(j.app, -1) for j in jobs), dtype=int, count=n)
+        known = app_idx >= 0
+        out[rows[known], app_base + app_idx[known]] = 1.0
+        user_idx = np.fromiter(
+            (self._users.get(j.user, -1) for j in jobs), dtype=int, count=n)
+        known = user_idx >= 0
+        out[rows[known], user_base + user_idx[known]] = 1.0
+        return out
+
     @staticmethod
     def target(jobs: list[Job]) -> np.ndarray:
         """The regression target: true mean power *per node* in watts.

@@ -178,3 +178,23 @@ class JobPowerModel:
     def __call__(self, job: Job) -> float:
         """Predicted *total* job power — the scheduler's predictor interface."""
         return job.n_nodes * self.predict_per_node(job)
+
+    def predict_batch(self, jobs: list[Job]) -> np.ndarray:
+        """Batched total-power predictions for a whole queue.
+
+        Ridge/k-NN pipelines encode the queue into one matrix and
+        predict in one vectorized call; the per-key model has no matrix
+        form and falls back to a per-job loop.
+        """
+        if not jobs:
+            return np.empty(0)
+        n = len(jobs)
+        if self.kind == "per-key":
+            per_node = np.fromiter(
+                (self.per_key.predict_per_node(j) for j in jobs), float, count=n)
+        else:
+            per_node = np.asarray(
+                self.regressor.predict(self.encoder.encode_batch(jobs)), dtype=float)
+        per_node = np.clip(per_node, 300.0, 2200.0)
+        nodes = np.fromiter((j.n_nodes for j in jobs), float, count=n)
+        return nodes * per_node

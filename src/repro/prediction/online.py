@@ -69,6 +69,14 @@ class OnlineRidge:
         """Point prediction for one feature vector."""
         return float(self.w @ self._phi(x))
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Point predictions for an (n, n_features) matrix in one matmul."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_features}) feature matrix, got {X.shape}")
+        return X @ self.w[:-1] + self.w[-1]
+
 
 class OnlineJobPowerModel:
     """The continuously-trained per-node power predictor of Fig. 4.
@@ -124,6 +132,20 @@ class OnlineJobPowerModel:
         raw = self.rls.predict(self.encoder.encode(job))
         return float(np.clip(raw, 300.0, 2200.0))
 
+    def predict_per_node_batch(self, jobs: list[Job]) -> np.ndarray:
+        """Per-node predictions for a whole queue in one matmul."""
+        if self.rls.samples_seen < self.min_samples:
+            return np.full(len(jobs), self.prior_per_node_w)
+        raw = self.rls.predict_batch(self.encoder.encode_batch(jobs))
+        return np.clip(raw, 300.0, 2200.0)
+
     def __call__(self, job: Job) -> float:
         """Total-power predictor interface for the dispatcher."""
         return job.n_nodes * self.predict_per_node(job)
+
+    def predict_batch(self, jobs: list[Job]) -> np.ndarray:
+        """Batched total-power predictor for the dispatcher's queue."""
+        if not jobs:
+            return np.empty(0)
+        nodes = np.fromiter((j.n_nodes for j in jobs), float, count=len(jobs))
+        return nodes * self.predict_per_node_batch(jobs)

@@ -1,5 +1,16 @@
 """Resource manager: jobs, workload generation, scheduling policies, simulator."""
 
+from .campaign import (
+    CampaignConfig,
+    Scenario,
+    ScenarioResult,
+    campaign_digest,
+    result_digest,
+    run_campaign,
+    run_scenario,
+    scenario_rng,
+    scenario_workload,
+)
 from .job import Job, JobRecord, JobState
 from .policies import (
     EasyBackfillScheduler,
@@ -20,6 +31,7 @@ from .workload import DEFAULT_APP_MIX, AppProfile, WorkloadConfig, WorkloadGener
 
 __all__ = [
     "AppProfile",
+    "CampaignConfig",
     "ClusterSimulator",
     "DEFAULT_APP_MIX",
     "EasyBackfillScheduler",
@@ -33,6 +45,8 @@ __all__ = [
     "NodeOutage",
     "PriorityScheduler",
     "PowerAwareScheduler",
+    "Scenario",
+    "ScenarioResult",
     "SchedulerContext",
     "SchedulerMonitorPlugin",
     "SchedulingPolicy",
@@ -40,7 +54,13 @@ __all__ = [
     "TimeVaryingBudgetScheduler",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "campaign_digest",
     "day_night_budget",
     "heat_wave_budget",
     "request_based_predictor",
+    "result_digest",
+    "run_campaign",
+    "run_scenario",
+    "scenario_rng",
+    "scenario_workload",
 ]

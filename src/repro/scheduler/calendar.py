@@ -1,0 +1,380 @@
+"""Event-calendar core for :class:`~repro.scheduler.simulate.ClusterSimulator`.
+
+The reference loop in :mod:`repro.scheduler.simulate` pays O(running)
+per event to rescan completion ETAs and re-apply the trim, O(n log n)
+to rebuild the free-node tuple, and O(queue log queue) to re-sort the
+ready queue after a requeue.  This core replaces those scans with
+incremental structures while performing the *same float arithmetic in
+the same order* (the shared `_settle` / `_set_speed` / `_PowerLedger` /
+`_resolve_ledger` contract), so its :class:`SimulationResult` is
+float-identical to the reference's at equal seeds:
+
+* **completion calendar** — a lazy-invalidation heap of
+  ``(eta_s, job_id, serial)`` entries.  Each running job carries a
+  globally monotonic serial; entries whose serial no longer matches are
+  stale and skipped on pop.  The heap is rebuilt wholesale only when
+  the trim ratio actually moves (every running job's ETA shifts then
+  anyway) and pushed-to incrementally for newly started jobs.
+* **incremental power resolution** — the `_PowerLedger` running sums
+  are updated on start/finish/requeue; `_resolve_ledger` runs only when
+  a ledger or alive-node-count change marked the cached resolution
+  dirty, and the trim is re-applied to running jobs only when the
+  resolved ratio differs from the cached one.
+* **sorted free-node list** — allocation slices the head
+  (``free[:k]``), release bisect-inserts; no per-event ``sorted(set)``.
+* **ordered ready queue** — a ``(submit_s, job_id, record)`` list kept
+  sorted by construction (submissions append in submit order, requeues
+  bisect-insert, starts filter) with a parallel record-only list so
+  pricing the queue for the policy never re-extracts it.  No
+  ``remove`` + re-sort.
+* **chunked trace buffer** — the power step function accumulates into
+  fixed-size NumPy chunks instead of unbounded Python lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .job import Job, JobRecord, JobState
+from .policies import SchedulerContext
+from .simulate import (
+    _ETA_EPS,
+    SimulationResult,
+    _PowerLedger,
+    _resolve_ledger,
+    _Running,
+    _set_speed,
+    _settle,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulate import ClusterSimulator
+
+__all__ = ["run_calendar"]
+
+_INF = float("inf")
+
+
+class _TraceBuffer:
+    """Chunked NumPy accumulator for the (time, power) step function."""
+
+    __slots__ = ("_chunk", "_t", "_p", "_i", "_full")
+
+    def __init__(self, chunk: int = 16384):
+        self._chunk = chunk
+        self._t = np.empty(chunk)
+        self._p = np.empty(chunk)
+        self._i = 0
+        self._full: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def append(self, t: float, p: float) -> None:
+        i = self._i
+        if i == self._chunk:
+            self._full.append((self._t, self._p))
+            self._t = np.empty(self._chunk)
+            self._p = np.empty(self._chunk)
+            i = 0
+        self._t[i] = t
+        self._p[i] = p
+        self._i = i + 1
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        parts_t = [t for t, _ in self._full] + [self._t[: self._i]]
+        parts_p = [p for _, p in self._full] + [self._p[: self._i]]
+        return np.concatenate(parts_t), np.concatenate(parts_p)
+
+
+def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
+    """Run ``sim`` over ``jobs`` with the event-calendar core."""
+    pending = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+    records = {j.job_id: JobRecord(job=j) for j in pending}
+    n_jobs = len(pending)
+    n_nodes = sim.n_nodes
+    idle_w = sim.idle_node_power_w
+    cap_w = sim.cap_w
+    rho_min = sim._rho_min
+    speed_exponent = sim.speed_exponent
+    policy = sim.policy
+    policy_select = policy.select
+    outages = sim.node_outages
+    n_outages = len(outages)
+    on_start = sim.on_job_start
+    on_end = sim.on_job_end
+    on_requeue = sim.on_job_requeue
+    m_decisions_inc = sim._m_decisions.inc
+    m_started_inc = sim._m_started.inc
+    m_completed_inc = sim._m_completed.inc
+    m_requeued_inc = sim._m_requeued.inc
+    m_overdemand_inc = sim._m_overdemand.inc
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    ledger = _PowerLedger(idle_w)
+    free: list[int] = list(range(n_nodes))  # sorted ascending
+    ready: list[tuple[float, int, JobRecord]] = []  # sorted (submit, id)
+    ready_recs: list[JobRecord] = []  # parallel record view of `ready`
+    running_by_id: dict[int, _Running] = {}  # insertion-ordered
+    running_recs: dict[int, JobRecord] = {}  # mirrors running_by_id
+    node_owner: dict[int, _Running] = {}
+    eta_heap: list[tuple[float, int, int]] = []  # (eta_s, job_id, serial)
+    eta_serial = 0  # global: requeue lives never collide
+    fresh: list[_Running] = []  # started since last trim application
+    trace = _TraceBuffer()
+    trace_append = trace.append
+    last_power = n_nodes * idle_w  # matches the reference's empty-trace default
+
+    # Cached power resolution; dirty on any ledger / alive-count change.
+    power_dirty = True
+    cur_system = cur_demand = 0.0
+    cur_rho = cur_speed = 1.0
+    # Cached context tuples; dirty on any running-set / free-pool change
+    # (submission events leave both intact).
+    ctx_dirty = True
+    running_tuple: tuple[JobRecord, ...] = ()
+    free_tuple: tuple[int, ...] = ()
+
+    total_energy = 0.0
+    overdemand_s = 0.0
+    busy_node_seconds = 0.0
+    now = 0.0
+    submit_idx = 0
+    t_submit = pending[0].submit_time_s if n_jobs else _INF
+    completed = 0
+    down_nodes: set[int] = set()
+    outage_idx = 0
+    recoveries: list[tuple[float, int]] = []  # heap of (rejoin time, node)
+    n_requeues = 0
+
+    def try_start() -> None:
+        nonlocal ready, ready_recs, power_dirty, ctx_dirty, running_tuple, free_tuple
+        if not ready:
+            return
+        if ctx_dirty:
+            running_tuple = tuple(running_recs.values())
+            free_tuple = tuple(free)
+            ctx_dirty = False
+        ctx = SchedulerContext(
+            now_s=now,
+            free_nodes=free_tuple,
+            running=running_tuple,
+            total_nodes=n_nodes - len(down_nodes),
+            system_power_w=last_power,
+            power_budget_w=cap_w,
+        )
+        started: set[int] = set()
+        # Pass a copy: the reference core does the same, so a policy that
+        # mutates its queue argument cannot diverge the two cores.
+        for rec in policy_select(list(ready_recs), ctx):
+            job = rec.job
+            if job.n_nodes > len(free):
+                raise RuntimeError(
+                    f"policy {policy.name} started job {job.job_id} "
+                    f"without enough free nodes"
+                )
+            alloc = tuple(free[: job.n_nodes])
+            del free[: job.n_nodes]
+            rec.nodes = alloc
+            rec.state = JobState.RUNNING
+            rec.start_time_s = now
+            started.add(job.job_id)
+            r = _Running(rec, job.true_runtime_s, now)
+            running_by_id[job.job_id] = r
+            running_recs[job.job_id] = rec
+            for node_id in alloc:
+                node_owner[node_id] = r
+            ledger.add(job)
+            fresh.append(r)
+            m_decisions_inc()
+            m_started_inc()
+            if on_start is not None:
+                on_start(rec)
+        if started:
+            k = len(started)
+            if all(t[1] in started for t in ready[:k]):
+                # Queue-order policies (FIFO, EASY phase 1) start a
+                # prefix: slice it off at C speed.
+                del ready[:k]
+                del ready_recs[:k]
+            else:
+                ready = [t for t in ready if t[1] not in started]
+                ready_recs = [t[2] for t in ready]
+            power_dirty = True
+            ctx_dirty = True
+
+    while completed < n_jobs:
+        if power_dirty:
+            cur_system, cur_demand, rho, speed = _resolve_ledger(
+                ledger, n_nodes - len(down_nodes), cap_w, rho_min, speed_exponent,
+            )
+            power_dirty = False
+            if rho != cur_rho or speed != cur_speed:
+                # The trim moved: every running job's speed — and hence
+                # ETA — shifts, so re-apply and rebuild the calendar
+                # wholesale (fresh jobs included; their sentinel state
+                # guarantees `_set_speed` initializes them).
+                cur_rho, cur_speed = rho, speed
+                for r in running_by_id.values():
+                    _set_speed(r, rho, speed, idle_w, now)
+                    eta_serial += 1
+                    r.eta_serial = eta_serial
+                eta_heap = [
+                    (r.eta_s, jid, r.eta_serial)
+                    for jid, r in running_by_id.items()
+                ]
+                heapq.heapify(eta_heap)
+                fresh.clear()
+            elif fresh:
+                # Trim unchanged: only newly started jobs need their
+                # first segment opened and an ETA pushed.
+                for r in fresh:
+                    _set_speed(r, rho, speed, idle_w, now)
+                    eta_serial += 1
+                    r.eta_serial = eta_serial
+                    heappush(eta_heap, (r.eta_s, r.record.job.job_id, eta_serial))
+                fresh.clear()
+        # Next event: submission, earliest valid ETA, crash or repair.
+        while eta_heap:
+            eta, jid, ser = eta_heap[0]
+            r = running_by_id.get(jid)
+            if r is not None and r.eta_serial == ser:
+                break
+            heappop(eta_heap)  # stale
+        t_complete = eta_heap[0][0] if eta_heap else _INF
+        t_next = t_submit if t_submit < t_complete else t_complete
+        if n_outages:
+            if outage_idx < n_outages and outages[outage_idx].at_s < t_next:
+                t_next = outages[outage_idx].at_s
+            if recoveries and recoveries[0][0] < t_next:
+                t_next = recoveries[0][0]
+        if t_next == _INF:
+            raise RuntimeError("simulation stalled: jobs pending but nothing can run")
+        dt = t_next - now
+        if dt > 0:
+            trace_append(now, cur_system)
+            last_power = cur_system
+            total_energy += cur_system * dt
+            if cap_w is not None and cur_demand > cap_w:
+                overdemand_s += dt
+                m_overdemand_inc(dt)
+            busy_node_seconds += dt * ledger.busy_nodes
+        now = t_next
+        # Completions: drain every valid calendar entry at or before
+        # now (+ slack), then settle in ascending job id — the shared
+        # contract, so downstream hooks observe the reference's order.
+        deadline = now + _ETA_EPS
+        if eta_heap and eta_heap[0][0] <= deadline:
+            finished: list[_Running] = []
+            while eta_heap and eta_heap[0][0] <= deadline:
+                eta, jid, ser = heappop(eta_heap)
+                r = running_by_id.get(jid)
+                if r is not None and r.eta_serial == ser:
+                    finished.append(r)
+            if len(finished) > 1:
+                finished.sort(key=lambda r: r.record.job.job_id)
+            for r in finished:
+                _settle(r, now)
+                rec = r.record
+                jid = rec.job.job_id
+                del running_by_id[jid]
+                del running_recs[jid]
+                ledger.remove(rec.job)
+                rec.state = JobState.COMPLETED
+                rec.end_time_s = now
+                for node_id in rec.nodes:
+                    del node_owner[node_id]
+                    insort(free, node_id)
+                completed += 1
+                m_completed_inc()
+                if on_end is not None:
+                    on_end(rec)
+            if finished:
+                power_dirty = True
+                ctx_dirty = True
+        if n_outages:
+            # Node repairs: the node rejoins the free pool.
+            while recoveries and recoveries[0][0] <= now + 1e-12:
+                _, node_id = heappop(recoveries)
+                if node_id in down_nodes:
+                    down_nodes.discard(node_id)
+                    insort(free, node_id)
+                    power_dirty = True
+                    ctx_dirty = True
+            # Node crashes: kill + requeue the victim's job, fence the node.
+            while outage_idx < n_outages and outages[outage_idx].at_s <= now + 1e-12:
+                outage = outages[outage_idx]
+                outage_idx += 1
+                node_id = outage.node_id
+                if node_id in down_nodes:
+                    # Overlapping outage on an already-dead node: extend.
+                    recoveries[:] = [
+                        (max(t, now + outage.duration_s), n) if n == node_id else (t, n)
+                        for t, n in recoveries
+                    ]
+                    heapq.heapify(recoveries)
+                    continue
+                down_nodes.add(node_id)
+                heappush(recoveries, (now + outage.duration_s, node_id))
+                power_dirty = True
+                ctx_dirty = True
+                victim = node_owner.get(node_id)
+                if victim is None:
+                    # Idle node: just fence it.
+                    i = _index(free, node_id)
+                    if i is not None:
+                        del free[i]
+                    continue
+                _settle(victim, now)
+                rec = victim.record
+                jid = rec.job.job_id
+                del running_by_id[jid]
+                del running_recs[jid]
+                ledger.remove(rec.job)
+                if victim in fresh:
+                    fresh.remove(victim)
+                # Surviving nodes of the allocation return to the pool; the
+                # crashed one stays fenced.
+                for alloc_node in rec.nodes:
+                    del node_owner[alloc_node]
+                    if alloc_node != node_id:
+                        insort(free, alloc_node)
+                rec.state = JobState.PENDING
+                rec.nodes = ()
+                rec.start_time_s = None
+                rec.requeues += 1
+                n_requeues += 1
+                m_requeued_inc()
+                key = (rec.job.submit_time_s, jid)
+                i = bisect_left(ready, key)
+                ready.insert(i, (rec.job.submit_time_s, jid, rec))
+                ready_recs.insert(i, rec)
+                if on_requeue is not None:
+                    on_requeue(rec)
+        # Submissions arrive in (submit, id) order, so appends keep
+        # the ready queue sorted.
+        while t_submit <= now + 1e-12:
+            job = pending[submit_idx]
+            ready.append((job.submit_time_s, job.job_id, records[job.job_id]))
+            ready_recs.append(records[job.job_id])
+            submit_idx += 1
+            t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else _INF
+        try_start()
+
+    makespan = now
+    trace.append(now, n_nodes * idle_w)
+    trace_t, trace_p = trace.arrays()
+    return sim._result(
+        pending, records, trace_t, trace_p, makespan, total_energy,
+        overdemand_s, busy_node_seconds, n_requeues,
+    )
+
+
+def _index(sorted_list: list[int], value: int):
+    """Index of ``value`` in a sorted int list, or None."""
+    i = bisect_left(sorted_list, value)
+    if i < len(sorted_list) and sorted_list[i] == value:
+        return i
+    return None

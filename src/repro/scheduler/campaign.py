@@ -1,0 +1,285 @@
+"""Deterministic parallel campaign runner for scheduling experiments.
+
+E07/E08/E09 all follow the same shape — sweep a policy × cap × seed
+grid of :class:`ClusterSimulator` runs and compare QoS — and the grid is
+embarrassingly parallel.  This module fans scenarios across a
+multiprocessing pool without giving up determinism:
+
+* **per-scenario seeding** — every scenario derives its workload RNG
+  from the campaign's root seed through
+  ``SeedSequence(entropy=root_seed, spawn_key=(seed_index,))``; the same
+  ``seed_index`` yields the *same workload* in every policy/cap cell, so
+  comparisons across cells are paired, and no scenario's stream depends
+  on how many processes ran or in what order they finished;
+* **submission-order merge** — results come back in the order the
+  scenarios were submitted (``pool.map``, chunksize 1), regardless of
+  completion order;
+* **content digests** — each result carries a SHA-256 over its records
+  and power trace, and :func:`campaign_digest` folds them in submission
+  order, so "same grid, any pool size" is checkable as a single string.
+
+Scenarios are plain-data (string policy/predictor specs, no callables),
+so they pickle cleanly into workers; predictors are *built inside* the
+worker from the spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .job import Job
+from .policies import EasyBackfillScheduler, FifoScheduler, SchedulingPolicy
+from .power_aware import PowerAwareScheduler, request_based_predictor
+from .simulate import ClusterSimulator, NodeOutage, SimulationResult
+from .workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "Scenario",
+    "CampaignConfig",
+    "ScenarioResult",
+    "scenario_rng",
+    "scenario_workload",
+    "run_scenario",
+    "run_campaign",
+    "result_digest",
+    "campaign_digest",
+]
+
+_POLICIES = ("fifo", "easy", "power-aware")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of a campaign grid — plain data, safe to pickle.
+
+    ``predictor`` specs (power-aware only): ``"oracle"`` prices each job
+    at its true power, ``"nameplate"`` / ``"nameplate:<W>"`` at the
+    per-node nameplate, ``"ridge"`` trains
+    :class:`~repro.prediction.JobPowerModel` on the campaign's training
+    split (``train_fraction`` must be > 0).  ``train_fraction`` splits
+    the workload chronologically and simulates only the held-out tail —
+    set it identically across cells to keep comparisons paired.
+    """
+
+    policy: str
+    cap_w: Optional[float] = None
+    seed_index: int = 0
+    #: Proactive envelope for the power-aware dispatcher (defaults to cap_w).
+    budget_w: Optional[float] = None
+    predictor: str = "oracle"
+    train_fraction: float = 0.0
+    node_outages: tuple[NodeOutage, ...] = ()
+    reference: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.policy not in _POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; pick one of {_POLICIES}")
+        if not 0.0 <= self.train_fraction < 1.0:
+            raise ValueError("train fraction must lie in [0, 1)")
+        if self.policy == "power-aware" and self.budget_w is None and self.cap_w is None:
+            raise ValueError("power-aware scenarios need budget_w or cap_w")
+        kind = self.predictor.split(":", 1)[0]
+        if kind not in ("oracle", "nameplate", "ridge"):
+            raise ValueError(f"unknown predictor spec {self.predictor!r}")
+        if kind == "ridge" and self.train_fraction <= 0.0:
+            raise ValueError("ridge predictor needs train_fraction > 0")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Workload and machine shape shared by every scenario of a campaign."""
+
+    n_nodes: int
+    n_jobs: int
+    root_seed: int = 0
+    load_factor: float = 0.85
+    idle_node_power_w: float = 300.0
+    speed_exponent: float = 0.75
+    min_speed: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.n_jobs < 1:
+            raise ValueError("node and job counts must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """QoS summary + content digest of one scenario run (picklable)."""
+
+    scenario: Scenario
+    qos: dict[str, float] = field(compare=False)
+    digest: str = ""
+
+
+def scenario_rng(root_seed: int, seed_index: int) -> np.random.Generator:
+    """The campaign determinism rule: root seed → per-scenario stream.
+
+    ``SeedSequence`` spawn keys give statistically independent streams
+    per index with no cross-contamination from pool scheduling.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=root_seed, spawn_key=(seed_index,))
+    )
+
+
+def scenario_workload(config: CampaignConfig, scenario: Scenario) -> list[Job]:
+    """The full (pre-split) job stream a scenario runs on."""
+    return WorkloadGenerator(
+        WorkloadConfig(
+            n_jobs=config.n_jobs,
+            cluster_nodes=config.n_nodes,
+            load_factor=config.load_factor,
+        ),
+        rng=scenario_rng(config.root_seed, scenario.seed_index),
+    ).generate()
+
+
+def _build_predictor(spec: str, train_jobs: list[Job]):
+    kind, _, arg = spec.partition(":")
+    if kind == "oracle":
+        return lambda job: job.true_power_w
+    if kind == "nameplate":
+        return request_based_predictor(float(arg) if arg else 2000.0)
+    # "ridge" — train on the chronological head split.
+    from ..prediction import JobPowerModel
+
+    lam = float(arg) if arg else 1.0
+    return JobPowerModel.fit_ridge(train_jobs, lam=lam)
+
+
+def _build_policy(config: CampaignConfig, scenario: Scenario,
+                  train_jobs: list[Job]) -> SchedulingPolicy:
+    if scenario.policy == "fifo":
+        return FifoScheduler()
+    if scenario.policy == "easy":
+        return EasyBackfillScheduler()
+    budget = scenario.budget_w if scenario.budget_w is not None else scenario.cap_w
+    return PowerAwareScheduler(
+        budget,
+        predictor=_build_predictor(scenario.predictor, train_jobs),
+        idle_node_power_w=config.idle_node_power_w,
+    )
+
+
+def result_digest(result: SimulationResult) -> str:
+    """SHA-256 over the canonical byte serialization of a result.
+
+    Covers every record's identity, timing, energy, stretch, requeue
+    count and allocation, plus the full power trace — two results with
+    equal digests are float-identical where it matters.
+    """
+    h = hashlib.sha256()
+    for rec in result.records:
+        h.update(struct.pack(
+            "<qdddq",
+            rec.job.job_id,
+            rec.start_time_s if rec.start_time_s is not None else np.nan,
+            rec.end_time_s if rec.end_time_s is not None else np.nan,
+            rec.energy_j,
+            rec.requeues,
+        ))
+        h.update(struct.pack("<d", rec.stretch))
+        h.update(np.asarray(rec.nodes, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(result.power_trace.times_s).tobytes())
+    h.update(np.ascontiguousarray(result.power_trace.power_w).tobytes())
+    h.update(struct.pack("<ddd", result.makespan_s, result.total_energy_j,
+                         result.overdemand_s))
+    return h.hexdigest()
+
+
+def _qos_summary(result: SimulationResult) -> dict[str, float]:
+    return {
+        "mean_wait_s": result.mean_wait_s(),
+        "p95_wait_s": result.p95_wait_s(),
+        "mean_bounded_slowdown": result.mean_bounded_slowdown(),
+        "mean_stretch": result.mean_stretch(),
+        "peak_power_w": result.peak_power_w(),
+        "mean_power_w": result.mean_power_w(),
+        "makespan_s": result.makespan_s,
+        "total_energy_j": result.total_energy_j,
+        "utilization": result.utilization,
+        "overdemand_s": result.overdemand_s,
+        "cap_violation_fraction": result.cap_violation_fraction(),
+        "n_requeues": float(result.n_requeues),
+        "n_jobs": float(len(result.records)),
+    }
+
+
+def run_scenario(config: CampaignConfig, scenario: Scenario) -> ScenarioResult:
+    """Run one grid cell start-to-finish (also the pool worker body)."""
+    jobs = scenario_workload(config, scenario)
+    if scenario.train_fraction > 0.0:
+        split = int(len(jobs) * scenario.train_fraction)
+        train, test = jobs[:split], jobs[split:]
+        if not train or not test:
+            raise ValueError("train fraction leaves an empty split")
+    else:
+        train, test = [], jobs
+    sim = ClusterSimulator(
+        n_nodes=config.n_nodes,
+        policy=_build_policy(config, scenario, train),
+        idle_node_power_w=config.idle_node_power_w,
+        cap_w=scenario.cap_w,
+        speed_exponent=config.speed_exponent,
+        min_speed=config.min_speed,
+        node_outages=scenario.node_outages,
+        reference=scenario.reference,
+    )
+    result = sim.run(test)
+    return ScenarioResult(
+        scenario=scenario,
+        qos=_qos_summary(result),
+        digest=result_digest(result),
+    )
+
+
+def _run_cell(payload: tuple[CampaignConfig, Scenario]) -> ScenarioResult:
+    return run_scenario(*payload)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    scenarios: Sequence[Scenario],
+    processes: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> list[ScenarioResult]:
+    """Run a scenario grid, results merged in submission order.
+
+    ``processes=None`` uses ``min(len(scenarios), cpu_count)``;
+    ``processes<=1`` runs serially in-process (no pool, no pickling).
+    The result list is bitwise independent of the pool size — pinned by
+    ``tests/test_campaign.py``.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        return []
+    if processes is None:
+        processes = min(len(scenarios), os.cpu_count() or 1)
+    if processes <= 1 or len(scenarios) == 1:
+        return [run_scenario(config, s) for s in scenarios]
+    if start_method is None:
+        start_method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+    ctx = multiprocessing.get_context(start_method)
+    payloads = [(config, s) for s in scenarios]
+    with ctx.Pool(processes=processes) as pool:
+        # chunksize=1: cells are coarse; keep the order-preserving map
+        # fine-grained so stragglers don't serialize whole chunks.
+        return pool.map(_run_cell, payloads, chunksize=1)
+
+
+def campaign_digest(results: Sequence[ScenarioResult]) -> str:
+    """One digest over the merged result list (submission order)."""
+    h = hashlib.sha256()
+    for r in results:
+        h.update(r.digest.encode())
+    return h.hexdigest()

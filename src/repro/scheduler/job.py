@@ -85,10 +85,17 @@ class JobRecord:
     energy_j: float = 0.0
     #: Power prediction attached at scheduling time (None = no predictor).
     predicted_power_w: Optional[float] = None
-    #: Accumulated slowdown from reactive capping (1.0 = never capped).
+    #: Accumulated slowdown from reactive capping: wall-clock running
+    #: time over work progressed, across all execution segments and
+    #: requeue attempts (1.0 = never capped).
     stretch: float = 1.0
     #: Times this job was killed by a node crash and requeued.
     requeues: int = 0
+    #: Wall-clock seconds spent in the RUNNING state (all attempts).
+    elapsed_running_s: float = 0.0
+    #: Work seconds actually progressed (all attempts; lost progress
+    #: from crash restarts still counts — the machine spent the time).
+    work_progressed_s: float = 0.0
 
     @property
     def wait_time_s(self) -> float:

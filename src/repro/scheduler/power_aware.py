@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..observability import Observability, null_observability
 
@@ -37,6 +39,21 @@ __all__ = ["PowerAwareScheduler", "request_based_predictor"]
 PowerPredictor = Callable[[Job], float]
 
 
+class _NameplatePredictor:
+    """Every node draws its nameplate power; supports batched pricing."""
+
+    def __init__(self, nominal_node_power_w: float):
+        self.nominal_node_power_w = float(nominal_node_power_w)
+
+    def __call__(self, job: Job) -> float:
+        return job.n_nodes * self.nominal_node_power_w
+
+    def predict_batch(self, jobs: list[Job]) -> np.ndarray:
+        n = len(jobs)
+        nodes = np.fromiter((j.n_nodes for j in jobs), float, count=n)
+        return nodes * self.nominal_node_power_w
+
+
 def request_based_predictor(nominal_node_power_w: float = 2000.0) -> PowerPredictor:
     """The no-ML fallback: assume every node draws its nameplate power.
 
@@ -45,7 +62,7 @@ def request_based_predictor(nominal_node_power_w: float = 2000.0) -> PowerPredic
     """
     if nominal_node_power_w <= 0:
         raise ValueError("nominal power must be positive")
-    return lambda job: job.n_nodes * nominal_node_power_w
+    return _NameplatePredictor(nominal_node_power_w)
 
 
 class PowerAwareScheduler:
@@ -98,6 +115,23 @@ class PowerAwareScheduler:
             rec.predicted_power_w = float(self.predictor(rec.job))
         return rec.predicted_power_w
 
+    def _prefill(self, queue: Sequence[JobRecord]) -> None:
+        """Price every unpriced queued job in one batched predictor call.
+
+        Duck-typed on ``predictor.predict_batch``: plain callables fall
+        back to per-job pricing inside :meth:`_predicted`.  Prices stick
+        to the record, so each job is encoded at most once per life.
+        """
+        batch = getattr(self.predictor, "predict_batch", None)
+        if batch is None:
+            return
+        unpriced = [r for r in queue if r.predicted_power_w is None]
+        if not unpriced:
+            return
+        prices = batch([r.job for r in unpriced])
+        for rec, price in zip(unpriced, prices):
+            rec.predicted_power_w = float(price)
+
     def _effective_budget(self) -> float:
         return self.cap_w * (1.0 - self.headroom_margin)
 
@@ -120,6 +154,7 @@ class PowerAwareScheduler:
         started: list[JobRecord] = []
         free = len(ctx.free_nodes)
         queue = list(queue)
+        self._prefill(queue)
         # Starting a job converts idle nodes to predicted-power nodes; the
         # marginal cost of starting rec is predicted - idle*nodes.
         def marginal_power(rec: JobRecord) -> float:

@@ -19,12 +19,30 @@ Power/performance model inside the simulation:
 Jobs progress in *work seconds*: a job finishes when its accumulated
 ``speed * dt`` reaches its true runtime, so capping stretches wall-clock
 exactly as the real machine's throttling does.
+
+Two interchangeable cores execute the same event semantics (DESIGN.md
+§9 states the equivalence contract):
+
+* the **reference core** (``reference=True``) is the naive loop: every
+  event it rescans all running jobs for the earliest completion and
+  re-applies the trim to each of them, and it keeps the ready queue as a
+  plain list with ``remove`` + full re-sort;
+* the **calendar core** (the default, :mod:`repro.scheduler.calendar`)
+  keeps completion ETAs in a lazy-invalidation heap, re-applies the trim
+  only when the trim ratio actually moved, and uses incremental
+  free-node / ready-queue / power-trace structures.
+
+Both cores share the segment arithmetic below (`_PowerLedger`,
+`_settle`, `_set_speed`, `_resolve_ledger`), so at equal seeds they
+produce float-identical :class:`SimulationResult`\\ s — pinned by
+``tests/test_sched_equivalence.py`` and benchmarked by
+``benchmarks/bench_sched.py``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -36,6 +54,11 @@ from .job import Job, JobRecord, JobState
 from .policies import SchedulerContext, SchedulingPolicy
 
 __all__ = ["NodeOutage", "SimulationResult", "ClusterSimulator"]
+
+#: Completion slack: a job whose stored ETA is within this many seconds
+#: of the current event time is considered finished (absolute, matching
+#: the submission/outage epsilons below).
+_ETA_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -54,17 +77,154 @@ class NodeOutage:
             raise ValueError("node id must be non-negative")
 
 
-@dataclass
 class _Running:
-    record: JobRecord
-    remaining_work_s: float
-    speed: float = 1.0
-    granted_power_w: float = 0.0
+    """Per-attempt execution state of one running job.
+
+    A job's life between speed changes is a *segment* of constant speed
+    and granted power; work, energy and stretch are debited when the
+    segment closes (:func:`_settle`), never per event.  ``eta_s`` is the
+    completion time implied by the current segment and stays valid until
+    the segment closes; ``eta_serial`` versions it for the calendar
+    core's lazy-invalidation heap.
+    """
+
+    __slots__ = (
+        "record", "remaining_work_s", "speed", "granted_power_w",
+        "seg_start_s", "eta_s", "eta_serial",
+    )
+
+    def __init__(self, record: JobRecord, remaining_work_s: float, now: float):
+        self.record = record
+        self.remaining_work_s = remaining_work_s
+        # Sentinels force the first _set_speed to initialize the segment.
+        self.speed = 0.0
+        self.granted_power_w = -1.0
+        self.seg_start_s = now
+        self.eta_s = np.inf
+        self.eta_serial = 0
+
+
+class _PowerLedger:
+    """Incremental demand/floor/busy-node accounting.
+
+    Both cores mutate the ledger with the same ``add``/``remove`` call
+    sequence (job start, finish, crash-requeue), so the float state is
+    identical between them — the foundation of the equivalence contract.
+    """
+
+    __slots__ = ("idle_node_power_w", "busy_nodes", "running_power_w", "running_dynamic_w")
+
+    def __init__(self, idle_node_power_w: float):
+        self.idle_node_power_w = idle_node_power_w
+        self.busy_nodes = 0            # int: exact arithmetic
+        self.running_power_w = 0.0     # sum of true job powers
+        self.running_dynamic_w = 0.0   # sum of max(power - idle floor, 0)
+
+    def add(self, job: Job) -> None:
+        self.busy_nodes += job.n_nodes
+        power = job.true_power_w
+        self.running_power_w += power
+        dynamic = power - job.n_nodes * self.idle_node_power_w
+        if dynamic > 0.0:
+            self.running_dynamic_w += dynamic
+
+    def remove(self, job: Job) -> None:
+        self.busy_nodes -= job.n_nodes
+        power = job.true_power_w
+        self.running_power_w -= power
+        dynamic = power - job.n_nodes * self.idle_node_power_w
+        if dynamic > 0.0:
+            self.running_dynamic_w -= dynamic
+
+
+def _settle(r: _Running, now: float) -> None:
+    """Close the current constant-speed segment at ``now``.
+
+    Debits work progress, bills energy, and folds the segment into the
+    record's accumulated-stretch ledger (elapsed running time over work
+    progressed — the true accumulated stretch, not the historical
+    max-instantaneous ``1/speed``).
+    """
+    dt = now - r.seg_start_s
+    if dt > 0.0:
+        rec = r.record
+        work = dt * r.speed
+        r.remaining_work_s -= work
+        rec.energy_j += r.granted_power_w * dt
+        rec.elapsed_running_s += dt
+        rec.work_progressed_s += work
+        if rec.work_progressed_s > 0.0:
+            rec.stretch = rec.elapsed_running_s / rec.work_progressed_s
+        r.seg_start_s = now
+
+
+def _set_speed(r: _Running, rho: float, speed: float, idle_node_power_w: float,
+               now: float) -> bool:
+    """Apply the system trim ratio to one running job.
+
+    Settles the open segment and starts a new one iff the job's speed or
+    granted power actually changes; returns whether it did (the calendar
+    core uses this to know the stored ETA moved).
+    """
+    job = r.record.job
+    if rho >= 1.0:
+        granted = job.true_power_w
+    else:
+        job_floor = job.n_nodes * idle_node_power_w
+        job_dynamic = job.true_power_w - job_floor
+        granted = job_floor + (job_dynamic if job_dynamic > 0.0 else 0.0) * rho
+    if speed == r.speed and granted == r.granted_power_w:
+        return False
+    _settle(r, now)
+    r.speed = speed
+    r.granted_power_w = granted
+    r.seg_start_s = now
+    r.eta_s = now + r.remaining_work_s / speed
+    return True
+
+
+def _resolve_ledger(
+    ledger: _PowerLedger,
+    n_alive: int,
+    cap_w: Optional[float],
+    rho_min: float,
+    speed_exponent: float,
+) -> tuple[float, float, float, float]:
+    """System power under the reactive trim; returns
+    ``(system_w, demand_w, rho, speed)``.
+
+    ``demand`` is the pre-trim draw; ``rho`` scales every running job's
+    dynamic share so the system fits under ``cap_w`` (clipped at the
+    hardware's speed floor), and ``speed = rho ** speed_exponent``.
+    """
+    idle_w = ledger.idle_node_power_w
+    idle_power = (n_alive - ledger.busy_nodes) * idle_w
+    demand = idle_power + ledger.running_power_w
+    if cap_w is None or demand <= cap_w:
+        return demand, demand, 1.0, 1.0
+    floor = idle_power + ledger.busy_nodes * idle_w
+    dynamic = demand - floor
+    if dynamic <= 0.0:
+        return demand, demand, 1.0, 1.0  # nothing controllable
+    rho = (cap_w - floor) / dynamic
+    if rho < 0.0:
+        rho = 0.0
+    # Speed floor limits how hard the hardware can throttle.
+    rho = float(np.clip(rho, rho_min, 1.0))
+    if rho >= 1.0:
+        return demand, demand, 1.0, 1.0
+    system = floor + ledger.running_dynamic_w * rho
+    return system, demand, rho, rho**speed_exponent
 
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything the metrics layer needs from one simulation run."""
+    """Everything the metrics layer needs from one simulation run.
+
+    QoS helpers compute their per-record arrays once and cache them, so
+    metric-heavy campaign post-processing does not re-materialize a
+    Python list + NumPy array per metric call.
+    """
 
     records: tuple[JobRecord, ...]
     power_trace: PowerTrace          # step-function system power
@@ -78,22 +238,48 @@ class SimulationResult:
     #: Job restarts forced by node crashes (0 without fault injection).
     n_requeues: int = 0
 
+    # -- cached per-record arrays -------------------------------------------------
+    def _qos_arrays(self) -> dict[str, np.ndarray]:
+        """Per-record wait/runtime/stretch arrays, built once per result."""
+        cache = self.__dict__.get("_qos_cache")
+        if cache is None:
+            n = len(self.records)
+            cache = {
+                "wait_s": np.fromiter(
+                    (r.wait_time_s for r in self.records), dtype=float, count=n),
+                "run_s": np.fromiter(
+                    (r.actual_runtime_s for r in self.records), dtype=float, count=n),
+                "stretch": np.fromiter(
+                    (r.stretch for r in self.records), dtype=float, count=n),
+            }
+            object.__setattr__(self, "_qos_cache", cache)
+        return cache
+
     # -- QoS metrics ------------------------------------------------------------
     def mean_wait_s(self) -> float:
         """Average queue wait."""
-        return float(np.mean([r.wait_time_s for r in self.records]))
+        return float(np.mean(self._qos_arrays()["wait_s"]))
 
     def p95_wait_s(self) -> float:
         """95th-percentile queue wait."""
-        return float(np.percentile([r.wait_time_s for r in self.records], 95))
+        return float(np.percentile(self._qos_arrays()["wait_s"], 95))
 
-    def mean_bounded_slowdown(self) -> float:
+    def mean_bounded_slowdown(self, threshold_s: float = 10.0) -> float:
         """Average bounded slowdown (the paper's QoS yardstick)."""
-        return float(np.mean([r.bounded_slowdown() for r in self.records]))
+        arrays = self._qos_arrays()
+        wait, run = arrays["wait_s"], arrays["run_s"]
+        slowdown = np.maximum(1.0, (wait + run) / np.maximum(run, threshold_s))
+        return float(np.mean(slowdown))
 
     def mean_stretch(self) -> float:
-        """Average cap-induced runtime stretch (1.0 = never trimmed)."""
-        return float(np.mean([r.stretch for r in self.records]))
+        """Average cap-induced runtime stretch (1.0 = never trimmed).
+
+        Per job this is the *accumulated* stretch — wall-clock running
+        time over work progressed across all its segments — so a job
+        trimmed for only part of its life contributes its true runtime
+        inflation, not the worst instantaneous ``1/speed`` it ever saw.
+        """
+        return float(np.mean(self._qos_arrays()["stretch"]))
 
     def mean_power_w(self) -> float:
         """Time-averaged system power."""
@@ -107,10 +293,14 @@ class SimulationResult:
         """Fraction of the makespan the (post-trim) power exceeded the cap."""
         if self.cap_w is None or len(self.power_trace) < 2:
             return 0.0
-        t, p = self.power_trace.times_s, self.power_trace.power_w
-        dt = np.diff(t)
-        over = p[:-1] > self.cap_w * (1 + 1e-9)
-        return float(dt[over].sum() / max(self.makespan_s, 1e-12))
+        cached = self.__dict__.get("_cap_violation")
+        if cached is None:
+            t, p = self.power_trace.times_s, self.power_trace.power_w
+            dt = np.diff(t)
+            over = p[:-1] > self.cap_w * (1 + 1e-9)
+            cached = float(dt[over].sum() / max(self.makespan_s, 1e-12))
+            object.__setattr__(self, "_cap_violation", cached)
+        return cached
 
 
 class ClusterSimulator:
@@ -129,6 +319,7 @@ class ClusterSimulator:
         node_outages: Sequence[NodeOutage] = (),
         on_job_requeue=None,
         obs: Optional[Observability] = None,
+        reference: bool = False,
         **legacy,
     ):
         """``cap_w`` is the reactive RAPL-style trim threshold (the old
@@ -140,7 +331,10 @@ class ClusterSimulator:
         crashes: a crashed node's job is killed and requeued (restarting
         from scratch, its burnt joules staying on its record), the node is
         excluded from dispatch until it rejoins, and ``on_job_requeue(rec)``
-        fires for each kill."""
+        fires for each kill.  ``reference=True`` selects the naive
+        rescanning core (the equivalence oracle and benchmark baseline);
+        the default is the event-calendar core, which produces
+        float-identical results."""
         if legacy:
             rename_kwargs("ClusterSimulator", legacy, {"reactive_cap_w": "cap_w"})
             cap_w = pop_alias("ClusterSimulator", legacy, "cap_w", cap_w)
@@ -164,6 +358,7 @@ class ClusterSimulator:
         self.on_job_end = on_job_end
         self.node_outages = tuple(sorted(node_outages, key=lambda o: (o.at_s, o.node_id)))
         self.on_job_requeue = on_job_requeue
+        self.reference = bool(reference)
         # Observability handles, resolved once (no-op when not wired in).
         self.obs = obs if obs is not None else null_observability()
         m = self.obs.metrics
@@ -178,51 +373,64 @@ class ClusterSimulator:
         """Deprecated spelling of :attr:`cap_w` (kept one release)."""
         return self.cap_w
 
-    # -- power resolution ----------------------------------------------------------
-    def _resolve_power(self, running: list[_Running], n_alive: int | None = None) -> tuple[float, float]:
-        """Apply the reactive trim; returns (system power, raw demand).
-
-        Mutates each running job's granted power and speed.  ``n_alive``
-        is the number of powered-on nodes (crashed nodes draw nothing).
-        """
-        if n_alive is None:
-            n_alive = self.n_nodes
-        busy_nodes = sum(r.record.job.n_nodes for r in running)
-        idle_power = (n_alive - busy_nodes) * self.idle_node_power_w
-        demand = idle_power
-        for r in running:
-            r.granted_power_w = r.record.job.true_power_w
-            r.speed = 1.0
-            demand += r.granted_power_w
-        if self.cap_w is None or demand <= self.cap_w:
-            return demand, demand
-        # Trim: scale every job's dynamic share by a common rho.
-        floor = idle_power + sum(r.record.job.n_nodes * self.idle_node_power_w for r in running)
-        dynamic = demand - floor
-        if dynamic <= 0:
-            return demand, demand  # nothing controllable
-        rho = max((self.cap_w - floor) / dynamic, 0.0)
-        # Speed floor limits how hard the hardware can throttle.
-        rho_min = self.min_speed ** (1.0 / self.speed_exponent)
-        rho = float(np.clip(rho, rho_min, 1.0))
-        system = floor
-        for r in running:
-            job_floor = r.record.job.n_nodes * self.idle_node_power_w
-            job_dynamic = r.record.job.true_power_w - job_floor
-            r.granted_power_w = job_floor + max(job_dynamic, 0.0) * rho
-            r.speed = rho**self.speed_exponent
-            system += max(job_dynamic, 0.0) * rho
-        return system, demand
+    @property
+    def _rho_min(self) -> float:
+        """The trim ratio at which execution speed hits ``min_speed``."""
+        return self.min_speed ** (1.0 / self.speed_exponent)
 
     # -- main loop -----------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> SimulationResult:
         """Simulate the full job stream to completion."""
         if not jobs:
             raise ValueError("empty job stream")
+        if self.reference:
+            return self._run_reference(jobs)
+        from .calendar import run_calendar
+
+        return run_calendar(self, jobs)
+
+    def _result(
+        self,
+        pending: list[Job],
+        records: dict[int, JobRecord],
+        trace_t: np.ndarray,
+        trace_p: np.ndarray,
+        makespan: float,
+        total_energy: float,
+        overdemand_s: float,
+        busy_node_seconds: float,
+        n_requeues: int,
+    ) -> SimulationResult:
+        """Assemble the result (shared by both cores)."""
+        trace = PowerTrace(trace_t, trace_p)
+        util = busy_node_seconds / (self.n_nodes * makespan) if makespan > 0 else 0.0
+        return SimulationResult(
+            records=tuple(records[j.job_id] for j in pending),
+            power_trace=trace,
+            makespan_s=makespan,
+            total_energy_j=total_energy,
+            cap_w=self.cap_w,
+            overdemand_s=overdemand_s,
+            utilization=util,
+            n_requeues=n_requeues,
+        )
+
+    # -- reference core ------------------------------------------------------------
+    def _run_reference(self, jobs: Sequence[Job]) -> SimulationResult:
+        """The naive rescanning loop: the equivalence oracle.
+
+        Every event it rescans all running jobs for the earliest stored
+        ETA, re-applies the trim to each running job, rebuilds the
+        scheduler context from scratch (``sorted`` over the free-node
+        set), and mutates the ready queue with ``remove`` + full
+        re-sort.  Segment arithmetic is shared with the calendar core,
+        so the two produce float-identical results.
+        """
         pending = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
         records = {j.job_id: JobRecord(job=j) for j in pending}
         queue: list[JobRecord] = []
         running: list[_Running] = []
+        ledger = _PowerLedger(self.idle_node_power_w)
         free_nodes = set(range(self.n_nodes))
         # Step-function power trace: (t, p) means the system drew p from t
         # until the next entry's timestamp.
@@ -239,6 +447,8 @@ class ClusterSimulator:
         outage_idx = 0
         recoveries: list[tuple[float, int]] = []  # heap of (rejoin time, node)
         n_requeues = 0
+        idle_w = self.idle_node_power_w
+        rho_min = self._rho_min
 
         def try_start() -> None:
             nonlocal free_nodes
@@ -264,20 +474,28 @@ class ClusterSimulator:
                 rec.state = JobState.RUNNING
                 rec.start_time_s = now
                 queue.remove(rec)
-                running.append(_Running(record=rec, remaining_work_s=rec.job.true_runtime_s))
+                running.append(_Running(rec, rec.job.true_runtime_s, now))
+                ledger.add(rec.job)
                 self._m_decisions.inc()
                 self._m_started.inc()
                 if self.on_job_start is not None:
                     self.on_job_start(rec)
 
         while completed < n_jobs:
-            system_power, demand = self._resolve_power(running, self.n_nodes - len(down_nodes))
+            system_power, demand, rho, speed = _resolve_ledger(
+                ledger, self.n_nodes - len(down_nodes), self.cap_w, rho_min,
+                self.speed_exponent,
+            )
+            # Naive re-application of the trim to every running job, every
+            # event (a no-op for jobs whose speed did not move).
+            for r in running:
+                _set_speed(r, rho, speed, idle_w, now)
             # Next event: submission, earliest completion, crash or repair.
             t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else np.inf
             t_complete = np.inf
             for r in running:
-                eta = now + r.remaining_work_s / r.speed
-                t_complete = min(t_complete, eta)
+                if r.eta_s < t_complete:
+                    t_complete = r.eta_s
             t_crash = (
                 self.node_outages[outage_idx].at_s
                 if outage_idx < len(self.node_outages) else np.inf
@@ -294,19 +512,20 @@ class ClusterSimulator:
                 if self.cap_w is not None and demand > self.cap_w:
                     overdemand_s += dt
                     self._m_overdemand.inc(dt)
-                busy_node_seconds += dt * sum(r.record.job.n_nodes for r in running)
-                for r in running:
-                    r.remaining_work_s -= dt * r.speed
-                    r.record.energy_j += r.granted_power_w * dt
-                    if r.speed < 1.0:
-                        # Accumulate stretch as elapsed/progress ratio.
-                        r.record.stretch = max(r.record.stretch, 1.0 / r.speed)
+                busy_node_seconds += dt * ledger.busy_nodes
             now = t_next
             # Completions (a job finishing exactly at a crash instant wins:
-            # its work is done before the node dies).
-            finished = [r for r in running if r.remaining_work_s <= 1e-9]
+            # its work is done before the node dies).  Same-instant
+            # completions settle in ascending job id — the contract both
+            # cores share, so downstream hooks observe the same order.
+            finished = sorted(
+                (r for r in running if r.eta_s <= now + _ETA_EPS),
+                key=lambda r: r.record.job.job_id,
+            )
             for r in finished:
+                _settle(r, now)
                 running.remove(r)
+                ledger.remove(r.record.job)
                 r.record.state = JobState.COMPLETED
                 r.record.end_time_s = now
                 free_nodes |= set(r.record.nodes)
@@ -339,7 +558,9 @@ class ClusterSimulator:
                 else:
                     victim = next((r for r in running if node_id in r.record.nodes), None)
                     if victim is not None:
+                        _settle(victim, now)
                         running.remove(victim)
+                        ledger.remove(victim.record.job)
                         rec = victim.record
                         # Surviving nodes of the allocation return to the
                         # pool; the crashed one stays fenced.
@@ -364,15 +585,7 @@ class ClusterSimulator:
         # Close the step function at the makespan with the final (idle) power.
         trace_t.append(now)
         trace_p.append(self.n_nodes * self.idle_node_power_w)
-        trace = PowerTrace(np.array(trace_t), np.array(trace_p))
-        util = busy_node_seconds / (self.n_nodes * makespan) if makespan > 0 else 0.0
-        return SimulationResult(
-            records=tuple(records[j.job_id] for j in pending),
-            power_trace=trace,
-            makespan_s=makespan,
-            total_energy_j=total_energy,
-            cap_w=self.cap_w,
-            overdemand_s=overdemand_s,
-            utilization=util,
-            n_requeues=n_requeues,
+        return self._result(
+            pending, records, np.array(trace_t), np.array(trace_p), makespan,
+            total_energy, overdemand_s, busy_node_seconds, n_requeues,
         )

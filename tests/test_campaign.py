@@ -1,0 +1,140 @@
+"""Determinism and merge-order guarantees of the campaign runner.
+
+DESIGN.md §9: a campaign's results must depend only on (config, grid) —
+never on the pool size, the start method, or completion order.  The
+root seed fans out to per-scenario ``SeedSequence`` streams, results
+merge in submission order, and the campaign digest is the single string
+that certifies all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    CampaignConfig,
+    ClusterSimulator,
+    FifoScheduler,
+    NodeOutage,
+    Scenario,
+    campaign_digest,
+    result_digest,
+    run_campaign,
+    run_scenario,
+    scenario_rng,
+    scenario_workload,
+)
+
+CONFIG = CampaignConfig(n_nodes=16, n_jobs=50, root_seed=42, load_factor=1.1)
+
+GRID = [
+    Scenario(policy="fifo", seed_index=0),
+    Scenario(policy="fifo", cap_w=20e3, seed_index=0),
+    Scenario(policy="easy", cap_w=20e3, seed_index=1),
+    Scenario(policy="power-aware", cap_w=20e3, seed_index=1),
+    Scenario(policy="power-aware", budget_w=20e3, seed_index=0,
+             predictor="nameplate:2000"),
+    Scenario(policy="easy", cap_w=18e3, seed_index=2,
+             node_outages=(NodeOutage(at_s=5000.0, node_id=1, duration_s=2000.0),)),
+]
+
+
+class TestDeterminism:
+    def test_scenario_rng_is_stable(self):
+        a = scenario_rng(42, 3).random(8)
+        b = scenario_rng(42, 3).random(8)
+        assert np.array_equal(a, b)
+        # Different indices give different (independent) streams.
+        assert not np.array_equal(a, scenario_rng(42, 4).random(8))
+
+    def test_same_seed_index_pairs_workloads_across_cells(self):
+        """Every policy/cap cell at one seed_index sees the same jobs."""
+        w1 = scenario_workload(CONFIG, Scenario(policy="fifo", seed_index=1))
+        w2 = scenario_workload(
+            CONFIG, Scenario(policy="easy", cap_w=20e3, seed_index=1))
+        assert [j.job_id for j in w1] == [j.job_id for j in w2]
+        assert [j.true_power_w for j in w1] == [j.true_power_w for j in w2]
+        assert [j.submit_time_s for j in w1] == [j.submit_time_s for j in w2]
+
+    def test_pool_size_does_not_change_results(self):
+        serial = run_campaign(CONFIG, GRID, processes=1)
+        pool2 = run_campaign(CONFIG, GRID, processes=2)
+        pool3 = run_campaign(CONFIG, GRID, processes=3)
+        assert campaign_digest(serial) == campaign_digest(pool2)
+        assert campaign_digest(serial) == campaign_digest(pool3)
+        for a, b in zip(serial, pool2):
+            assert a.scenario == b.scenario
+            assert a.qos == b.qos
+            assert a.digest == b.digest
+
+    def test_merge_preserves_submission_order(self):
+        results = run_campaign(CONFIG, GRID, processes=2)
+        assert [r.scenario for r in results] == GRID
+
+    def test_rerun_is_bit_stable(self):
+        first = run_campaign(CONFIG, GRID[:3], processes=1)
+        second = run_campaign(CONFIG, GRID[:3], processes=1)
+        assert campaign_digest(first) == campaign_digest(second)
+
+
+class TestScenarioSemantics:
+    def test_reference_core_same_digest(self):
+        """Both simulator cores produce the same campaign digest — the
+        equivalence contract, certified through the digest path."""
+        fast = run_scenario(CONFIG, Scenario(policy="easy", cap_w=20e3))
+        ref = run_scenario(
+            CONFIG, Scenario(policy="easy", cap_w=20e3, reference=True))
+        assert fast.digest == ref.digest
+        assert fast.qos == ref.qos
+
+    def test_result_digest_detects_changes(self):
+        jobs = scenario_workload(CONFIG, Scenario(policy="fifo"))
+        a = ClusterSimulator(CONFIG.n_nodes, FifoScheduler()).run(jobs)
+        b = ClusterSimulator(CONFIG.n_nodes, FifoScheduler(), cap_w=20e3).run(jobs)
+        assert result_digest(a) != result_digest(b)
+        assert result_digest(a) == result_digest(a)
+
+    def test_train_fraction_splits_chronologically(self):
+        res = run_scenario(
+            CONFIG,
+            Scenario(policy="power-aware", cap_w=20e3,
+                     predictor="ridge", train_fraction=0.4),
+        )
+        assert res.qos["n_jobs"] == CONFIG.n_jobs - int(CONFIG.n_jobs * 0.4)
+
+    def test_qos_summary_keys(self):
+        res = run_scenario(CONFIG, Scenario(policy="fifo", cap_w=20e3))
+        for key in ("mean_wait_s", "p95_wait_s", "mean_bounded_slowdown",
+                    "mean_stretch", "peak_power_w", "mean_power_w",
+                    "makespan_s", "total_energy_j", "utilization",
+                    "overdemand_s", "cap_violation_fraction", "n_requeues"):
+            assert key in res.qos
+        assert res.qos["peak_power_w"] <= 20e3 * 1.001
+
+    def test_empty_grid(self):
+        assert run_campaign(CONFIG, []) == []
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Scenario(policy="sjf")
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            Scenario(policy="power-aware", cap_w=1e3, predictor="gpt")
+
+    def test_power_aware_needs_budget(self):
+        with pytest.raises(ValueError, match="budget_w or cap_w"):
+            Scenario(policy="power-aware")
+
+    def test_ridge_needs_training_split(self):
+        with pytest.raises(ValueError, match="train_fraction"):
+            Scenario(policy="power-aware", cap_w=1e3, predictor="ridge")
+
+    def test_bad_train_fraction_rejected(self):
+        with pytest.raises(ValueError, match="train fraction"):
+            Scenario(policy="fifo", train_fraction=1.0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_nodes=0, n_jobs=10)
