@@ -1,31 +1,33 @@
 #!/usr/bin/env python3
-"""Scale sweep of the scheduler hot path: event-calendar vs reference core.
+"""Scale sweep of the scheduler hot path across all three simulator cores.
 
 Runs power-capped and uncapped scheduling across (nodes × jobs) points
-with both :class:`~repro.scheduler.ClusterSimulator` cores and records
-for each point:
+with the structure-of-arrays core (``core="array"``), the event-calendar
+core and the naive ``reference`` loop, and records for each point:
 
-* wall-clock seconds and jobs/s for the calendar core and the naive
-  ``reference=True`` loop, and the speedup between them;
-* the result content digest of both cores, to prove the calendar core
-  replays the reference float-for-float at equal seeds (the DESIGN.md
-  §9 equivalence contract) — the speedup claim is meaningless if the
-  fast core computes something else;
+* wall-clock seconds and jobs/s per core, the calendar-vs-reference
+  speedup, and the array-vs-calendar speedup;
+* the result content digest of every core that ran, to prove the fast
+  cores replay the reference float-for-float at equal seeds (the
+  DESIGN.md §9–10 equivalence contract) — a speedup claim is
+  meaningless if the fast core computes something else;
 * a campaign-runner scaling measurement: a fixed policy×cap×seed grid
   through ``run_campaign`` serially and with a process pool, with the
   merged-campaign digests compared (pool size must not change results).
 
 The reference core is O(running) per event, so it is skipped above
-``--max-ref-jobs`` (the calendar core still runs and reports
-throughput there).
+``--max-ref-jobs``; EASY backfill is O(backlog) per decision under a
+cap, so the ``easy_capped`` mode is skipped above ``--max-easy-jobs``
+(the replay-scale mega point ``16384x1000000`` is FIFO/uncapped — the
+configuration the array core's flat loop is built for).
 
-Run:  python benchmarks/bench_sched.py [--points 64x2000,1024x50000]
+Run:  python benchmarks/bench_sched.py [--points 64x2000,16384x1000000]
                                        [--out BENCH_sched.json]
 
 Writes ``BENCH_sched.json`` at the repo root by default; the
 ``--check-against`` gate fails on a >tolerance speedup regression
 against a committed baseline (ratio of ratios, so runner speed cancels
-out) and on any digest mismatch.
+out) and on any digest mismatch between any pair of cores.
 """
 
 from __future__ import annotations
@@ -74,12 +76,14 @@ def make_jobs(n_nodes: int, n_jobs: int) -> list:
     ).generate()
 
 
-def run_core(jobs, n_nodes: int, policy_factory, capped: bool, reference: bool,
-             repeats: int = 1, budget_s: float = 30.0) -> dict:
+def run_core(jobs, n_nodes: int, policy_factory, capped: bool, core: str,
+             repeats: int = 1, budget_s: float = 40.0) -> dict:
     """Best-of-``repeats`` wall time, stopping once ``budget_s`` of
     measurement has accumulated (short points are noise-dominated
     single-shot; multi-minute points are long enough to time once).
-    A fresh simulator per repeat keeps runs independent."""
+    Best-of is the right statistic here: the simulator is deterministic,
+    so every slowdown is runner noise.  A fresh simulator per repeat
+    keeps runs independent."""
     wall_s = float("inf")
     spent = 0.0
     result = None
@@ -88,7 +92,7 @@ def run_core(jobs, n_nodes: int, policy_factory, capped: bool, reference: bool,
             n_nodes=n_nodes,
             policy=policy_factory(),
             cap_w=BUDGET_PER_NODE_W * n_nodes if capped else None,
-            reference=reference,
+            core=core,
         )
         t0 = time.perf_counter()
         result = sim.run(jobs)
@@ -98,7 +102,7 @@ def run_core(jobs, n_nodes: int, policy_factory, capped: bool, reference: bool,
         if spent >= budget_s:
             break
     return {
-        "core": "reference" if reference else "calendar",
+        "core": core,
         "wall_s": round(wall_s, 4),
         "jobs_per_s": round(len(jobs) / wall_s, 1),
         "digest": result_digest(result),
@@ -108,43 +112,62 @@ def run_core(jobs, n_nodes: int, policy_factory, capped: bool, reference: bool,
 
 
 def warmup() -> None:
-    """Import both cores and warm allocator/caches before timing.
+    """Import every core and warm allocator/caches before timing.
 
-    Without this the first timed run absorbs the lazy calendar-module
-    import and first-touch costs, skewing whichever core runs first.
+    Without this the first timed run absorbs lazy module imports and
+    first-touch costs, skewing whichever core runs first.
     """
     jobs = make_jobs(16, 200)
-    for reference in (False, True):
-        run_core(jobs, 16, FifoScheduler, capped=True, reference=reference)
+    for core in ("array", "calendar", "reference"):
+        run_core(jobs, 16, FifoScheduler, capped=True, core=core)
 
 
 def bench_point(n_nodes: int, n_jobs: int, max_ref_jobs: int,
-                repeats: int = 1, budget_s: float = 30.0,
-                ) -> tuple[list[dict], dict[str, float], dict[str, bool]]:
-    """All modes × cores at one sweep point."""
+                max_easy_jobs: int, repeats: int = 1, budget_s: float = 40.0,
+                ) -> tuple[list[dict], dict[str, dict], dict[str, bool]]:
+    """All modes × cores at one sweep point.
+
+    Digest equality is checked across *every* pair of cores that ran the
+    mode; the returned flag is per mode (all pairs equal)."""
     jobs = make_jobs(n_nodes, n_jobs)
     runs, speedups, digests_equal = [], {}, {}
     for mode, policy_factory, capped in MODES:
-        fast = run_core(jobs, n_nodes, policy_factory, capped, reference=False,
-                        repeats=repeats, budget_s=budget_s)
+        if mode == "easy_capped" and n_jobs > max_easy_jobs:
+            print(f"n={n_nodes:5d} jobs={n_jobs:7d} {mode:>13}: skipped "
+                  f"(above --max-easy-jobs={max_easy_jobs})")
+            continue
         rec = {"point": f"{n_nodes}x{n_jobs}", "mode": mode,
                "n_nodes": n_nodes, "n_jobs": n_jobs}
-        runs.append({**rec, **fast})
+        arr = run_core(jobs, n_nodes, policy_factory, capped, core="array",
+                       repeats=repeats, budget_s=budget_s)
+        cal = run_core(jobs, n_nodes, policy_factory, capped, core="calendar",
+                       repeats=repeats, budget_s=budget_s)
+        runs.append({**rec, **arr})
+        runs.append({**rec, **cal})
+        by_core = {"array": arr, "calendar": cal}
+        mode_speedups = {
+            "array_vs_calendar": round(cal["wall_s"] / arr["wall_s"], 2),
+        }
         if n_jobs <= max_ref_jobs:
-            ref = run_core(jobs, n_nodes, policy_factory, capped, reference=True,
-                           repeats=repeats, budget_s=budget_s)
+            ref = run_core(jobs, n_nodes, policy_factory, capped,
+                           core="reference", repeats=repeats, budget_s=budget_s)
             runs.append({**rec, **ref})
-            speedup = ref["wall_s"] / fast["wall_s"]
-            speedups[mode] = round(speedup, 2)
-            digests_equal[mode] = fast["digest"] == ref["digest"]
-            print(f"n={n_nodes:5d} jobs={n_jobs:6d} {mode:>13}: "
-                  f"calendar {fast['wall_s']:8.2f} s vs reference "
-                  f"{ref['wall_s']:8.2f} s -> {speedup:5.2f}x "
-                  f"(digests {'EQUAL' if digests_equal[mode] else 'DIFFER'})")
-        else:
-            print(f"n={n_nodes:5d} jobs={n_jobs:6d} {mode:>13}: "
-                  f"calendar {fast['wall_s']:8.2f} s "
-                  f"({fast['jobs_per_s']:,.0f} jobs/s; reference skipped)")
+            by_core["reference"] = ref
+            mode_speedups["calendar_vs_reference"] = round(
+                ref["wall_s"] / cal["wall_s"], 2)
+        digests = {c: r["digest"] for c, r in by_core.items()}
+        equal = len(set(digests.values())) == 1
+        speedups[mode] = mode_speedups
+        digests_equal[mode] = equal
+        ref_note = (
+            f" ref {by_core['reference']['wall_s']:8.2f} s"
+            if "reference" in by_core else ""
+        )
+        print(f"n={n_nodes:5d} jobs={n_jobs:7d} {mode:>13}: "
+              f"array {arr['wall_s']:8.2f} s ({arr['jobs_per_s']:>9,.0f} jobs/s) "
+              f"vs calendar {cal['wall_s']:8.2f} s{ref_note} -> "
+              f"{mode_speedups['array_vs_calendar']:5.2f}x "
+              f"(digests {'EQUAL' if equal else 'DIFFER'})")
     return runs, speedups, digests_equal
 
 
@@ -182,15 +205,19 @@ def bench_campaign(processes: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--points", default="64x1000,64x2000,256x10000,1024x50000,1024x100000",
+    parser.add_argument("--points",
+                        default="64x1000,64x2000,256x10000,1024x50000,"
+                                "1024x100000,16384x1000000",
                         help="comma-separated NODESxJOBS sweep points")
     parser.add_argument("--max-ref-jobs", type=int, default=50_000,
                         help="skip the reference core above this job count")
+    parser.add_argument("--max-easy-jobs", type=int, default=100_000,
+                        help="skip the easy_capped mode above this job count")
     parser.add_argument("--repeats", type=int, default=5,
                         help="best-of-N timing per core (default 5)")
-    parser.add_argument("--repeat-budget-s", type=float, default=30.0,
+    parser.add_argument("--repeat-budget-s", type=float, default=40.0,
                         help="stop repeating a core once this much "
-                             "measurement time has accumulated (default 30)")
+                             "measurement time has accumulated (default 40)")
     parser.add_argument("--campaign-processes", type=int, default=4,
                         help="pool size for the campaign scaling measurement")
     parser.add_argument("--skip-campaign", action="store_true",
@@ -213,11 +240,11 @@ def main(argv: list[str] | None = None) -> int:
 
     warmup()
     runs: list[dict] = []
-    speedups: dict[str, dict[str, float]] = {}
+    speedups: dict[str, dict[str, dict]] = {}
     digests_equal: dict[str, dict[str, bool]] = {}
     for n_nodes, n_jobs in points:
         point_runs, point_speedups, point_equal = bench_point(
-            n_nodes, n_jobs, args.max_ref_jobs,
+            n_nodes, n_jobs, args.max_ref_jobs, args.max_easy_jobs,
             repeats=args.repeats, budget_s=args.repeat_budget_s)
         runs += point_runs
         key = f"{n_nodes}x{n_jobs}"
@@ -240,7 +267,7 @@ def main(argv: list[str] | None = None) -> int:
 
     ok = all(all(v.values()) for v in digests_equal.values())
     if not ok:
-        print("ERROR: calendar and reference result digests diverged", file=sys.stderr)
+        print("ERROR: core result digests diverged", file=sys.stderr)
     if campaign is not None and not campaign["digests_equal"]:
         print("ERROR: campaign digests depend on pool size", file=sys.stderr)
         ok = False
@@ -249,16 +276,25 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.loads(Path(args.check_against).read_text())
         base_speedups = baseline.get("core_speedup_by_point", {})
         for key, by_mode in speedups.items():
-            for mode, measured in by_mode.items():
-                expected = base_speedups.get(key, {}).get(mode)
-                if expected is None:
+            for mode, pairs in by_mode.items():
+                base_pairs = base_speedups.get(key, {}).get(mode)
+                if base_pairs is None:
                     continue
-                floor = expected * (1.0 - args.tolerance)
-                status = "ok" if measured >= floor else "REGRESSED"
-                print(f"speedup check {key}/{mode}: measured {measured:.2f}x vs "
-                      f"baseline {expected:.2f}x (floor {floor:.2f}x) -> {status}")
-                if measured < floor:
-                    ok = False
+                if not isinstance(pairs, dict):  # pre-array baseline layout
+                    pairs = {"calendar_vs_reference": pairs}
+                if not isinstance(base_pairs, dict):
+                    base_pairs = {"calendar_vs_reference": base_pairs}
+                for pair, measured in pairs.items():
+                    expected = base_pairs.get(pair)
+                    if expected is None:
+                        continue
+                    floor = expected * (1.0 - args.tolerance)
+                    status = "ok" if measured >= floor else "REGRESSED"
+                    print(f"speedup check {key}/{mode}/{pair}: measured "
+                          f"{measured:.2f}x vs baseline {expected:.2f}x "
+                          f"(floor {floor:.2f}x) -> {status}")
+                    if measured < floor:
+                        ok = False
 
     return 0 if ok else 1
 

@@ -5,6 +5,7 @@ from .campaign import (
     Scenario,
     ScenarioResult,
     campaign_digest,
+    merge_results,
     result_digest,
     run_campaign,
     run_scenario,
@@ -15,13 +16,14 @@ from .job import Job, JobRecord, JobState
 from .policies import (
     EasyBackfillScheduler,
     FifoScheduler,
+    ReadyView,
     SchedulerContext,
     SchedulingPolicy,
 )
 from .fairshare import FairShareState, MultifactorPriority, PriorityScheduler
 from .plugins import LiveNodePower, SchedulerMonitorPlugin
 from .power_aware import PowerAwareScheduler, request_based_predictor
-from .simulate import ClusterSimulator, NodeOutage, SimulationResult
+from .simulate import SIMULATOR_CORES, ClusterSimulator, NodeOutage, SimulationResult
 from .thermal_aware import (
     TimeVaryingBudgetScheduler,
     day_night_budget,
@@ -45,6 +47,8 @@ __all__ = [
     "NodeOutage",
     "PriorityScheduler",
     "PowerAwareScheduler",
+    "ReadyView",
+    "SIMULATOR_CORES",
     "Scenario",
     "ScenarioResult",
     "SchedulerContext",
@@ -57,6 +61,7 @@ __all__ = [
     "campaign_digest",
     "day_night_budget",
     "heat_wave_budget",
+    "merge_results",
     "request_based_predictor",
     "result_digest",
     "run_campaign",

@@ -1,0 +1,930 @@
+"""Structure-of-arrays core for :class:`~repro.scheduler.simulate.ClusterSimulator`.
+
+The calendar core (:mod:`repro.scheduler.calendar`) made the event loop
+incremental, but it still pays Python-object prices everywhere: one
+``_Running`` box per job, a frozen ``SchedulerContext`` and an O(queue)
+defensive queue copy per decision, a Python loop over every running job
+when the trim ratio moves.  At the scale ROADMAP item 1 targets — 16k
+nodes x 1M jobs, production-log replays in the spirit of the CEEC
+experience report — those costs are the bottleneck.  This core keeps
+all per-running-job state in NumPy *lanes* and drives policies through
+a batched queue view:
+
+* **SoA lanes** — one row of a ``(max_running, 10)`` float64 array per
+  running job (remaining work, speed, granted power, segment start,
+  ETA, energy/elapsed/work accumulators, true power, idle floor), with
+  swap-remove compaction and a job-id -> lane map.  Completion events
+  touch one contiguous row; a trim change is ~10 vector ops over the
+  compact prefix instead of a Python loop.
+* **batched trim** — when ``_resolve_ledger`` moves the ratio, the
+  ``_set_speed`` arithmetic (settle + new segment + new ETA) runs
+  vectorized over every lane.  NumPy's elementwise float64 ops are
+  IEEE-754 identical to the scalar contract helpers, so the lanes hold
+  bit-for-bit the values ``_Running`` objects would.
+* **hybrid completion calendar** — while the trim is stable, a heap of
+  ``(eta, job_id[, serial])`` answers "next completion" in O(log n); a
+  trim change invalidates every ETA at once, so the core drops the heap
+  and takes ``min`` over the ETA lane instead, rebuilding the heap only
+  after the trim has been quiet for a while (hysteresis) — never the
+  per-event wholesale rebuild the calendar core does.  Stale entries
+  can only exist when outages requeue jobs; without outages the heap
+  entries carry no serial and the validity check disappears.
+* **batched policy decisions** — the ready queue is a backing list plus
+  cursor; queue-order policies answer through
+  :meth:`~repro.scheduler.policies.ReadyView.prefix_fit` (a scan
+  bounded by the number of jobs that start, not the backlog) and the
+  frozen context dataclass is built only when a policy asks for it.
+  Plain FIFO — the replay-scale configuration — never consults the
+  context at all, so its admission loop runs inline and the running-
+  record map and sorted free list are skipped entirely (the free pool
+  degrades to a min-heap, which allocates the same ascending node ids).
+* **deferred record flush** — accumulators live in the lanes (seeded
+  from the record at start, in case of a requeued earlier life) and are
+  written back only at completion/requeue, when downstream consumers
+  (hooks, fair-share charging, digests) observe them.
+* **uncapped fast path** — with no power cap the trim ratio is pinned
+  at 1.0, so a started job's first segment opens inline (speed 1,
+  granted = true power, ETA = now + runtime; bit-identical to what the
+  deferred ``_set_speed`` would store) and power resolution reduces to
+  the ledger's demand sum, maintained as two locals.
+
+Equal-timestamp events batch exactly like the calendar core: all
+completions within ``_ETA_EPS`` of the event time drain together and
+settle in ascending job id, then power is re-resolved once for the
+whole batch.  Observability counters accumulate locally and publish
+once at the end of the run (same totals, none of the 2-per-job calls).
+Everything observable — records, trace, energy, digests — is
+float-identical to the other two cores; ``tests/diff_harness.py``
+fuzzes that claim across policy x cap x outage x workload scenarios.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .calendar import _index
+from .contract import _ETA_EPS, _PowerLedger, _resolve_ledger
+from .job import Job, JobRecord, JobState
+from .policies import FifoScheduler, ReadyView, SchedulerContext
+from .simulate import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulate import ClusterSimulator
+
+__all__ = ["run_array"]
+
+_INF = float("inf")
+
+# Lane field columns (one row per running job).
+_REM, _SPD, _GRT, _SEG, _ETA, _ENG, _ELP, _WRK, _PWR, _FLR = range(10)
+_NFIELDS = 10
+
+#: Rebuild the completion heap after this many trim-stable events.  In
+#: array mode "next completion" is an O(running) vector min; the heap is
+#: only worth its rebuild cost once the trim ratio stops moving.
+_HEAP_HYSTERESIS = 64
+
+
+def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
+    """Run ``sim`` over ``jobs`` with the structure-of-arrays core."""
+    pending = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+    records = {j.job_id: JobRecord(job=j) for j in pending}
+    if (
+        type(sim.policy) is FifoScheduler
+        and sim.cap_w is None
+        and not sim.node_outages
+    ):
+        # The replay-scale configuration gets a dedicated flat loop:
+        # same arithmetic, no closures (every hot name a true local).
+        return _run_fifo_uncapped(sim, pending, records)
+    n_jobs = len(pending)
+    n_nodes = sim.n_nodes
+    idle_w = sim.idle_node_power_w
+    cap_w = sim.cap_w
+    rho_min = sim._rho_min
+    speed_exponent = sim.speed_exponent
+    policy = sim.policy
+    policy_select = policy.select
+    policy_select_batch = getattr(policy, "select_batch", None)
+    outages = sim.node_outages
+    n_outages = len(outages)
+    on_start = sim.on_job_start
+    on_end = sim.on_job_end
+    on_requeue = sim.on_job_requeue
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    running_state = JobState.RUNNING
+    completed_state = JobState.COMPLETED
+
+    uncapped = cap_w is None
+    # node_owner is only read by the crash path; stale heap entries can
+    # only arise from crash-requeues.  No outages -> skip both, and drop
+    # the serial from heap entries (2-tuples compare faster).
+    track_owner = n_outages > 0
+    stale_possible = n_outages > 0
+    # Exactly FifoScheduler (not a subclass overriding select): admission
+    # is a pure queue-order prefix scan that never builds a context, so
+    # the inline loop below replaces the whole view/select_batch hop and
+    # the running-record map goes unmaintained.
+    fifo_fast = type(policy) is FifoScheduler
+    track_running = not fifo_fast
+    # With no context consumer and no crash path, nothing ever needs the
+    # free pool *sorted* — a min-heap allocates the same ascending ids
+    # (k pops == first k of the sorted list) without O(free) memmoves.
+    heap_pool = fifo_fast and n_outages == 0
+
+    ledger = _PowerLedger(idle_w)
+    free: list[int] = list(range(n_nodes))  # sorted ascending (a valid heap)
+    running_recs: dict[int, JobRecord] = {}  # insertion-ordered (start order)
+    node_owner: dict[int, int] = {}  # node id -> owning job id
+
+    # --- SoA lanes -----------------------------------------------------
+    max_running = max(1, min(n_nodes, n_jobs))
+    F = np.empty((max_running, _NFIELDS))
+    eta_col = F[:, _ETA]
+    lane_jid: list[int] = []  # lane -> job id (len == live lanes)
+    lane_recs: list[JobRecord] = []  # lane -> record
+    lane_serial: list[int] = []  # lane -> heap-entry serial
+    pos: dict[int, int] = {}  # job id -> lane
+    pos_get = pos.get
+    pos_pop = pos.pop
+
+    # --- completion calendar (hybrid heap / vector-min) ----------------
+    eta_heap: list = []
+    heap_valid = True  # empty heap over zero lanes is trivially right
+    stable_events = 0
+    eta_serial = 0
+
+    # --- ready queue: backing list + cursor ----------------------------
+    q_recs: list[JobRecord] = []
+    q_head = 0
+
+    fresh_jids: list[int] = []  # started since last trim application
+    trace_t_l: list[float] = []
+    trace_p_l: list[float] = []
+    t_append = trace_t_l.append
+    p_append = trace_p_l.append
+    last_power = n_nodes * idle_w
+
+    power_dirty = True
+    cur_system = cur_demand = 0.0
+    cur_rho = cur_speed = 1.0
+    ctx_dirty = True
+    running_tuple: tuple[JobRecord, ...] = ()
+    free_tuple: tuple[int, ...] = ()
+
+    total_energy = 0.0
+    overdemand_s = 0.0
+    busy_node_seconds = 0.0
+    now = 0.0
+    submit_idx = 0
+    t_submit = pending[0].submit_time_s if n_jobs else _INF
+    completed = 0
+    n_started_total = 0
+    n_alive = n_nodes
+    down_nodes: set[int] = set()
+    outage_idx = 0
+    recoveries: list[tuple[float, int]] = []
+    n_requeues = 0
+
+    def _make_ctx() -> SchedulerContext:
+        nonlocal running_tuple, free_tuple, ctx_dirty
+        if ctx_dirty:
+            running_tuple = tuple(running_recs.values())
+            free_tuple = tuple(free)
+            ctx_dirty = False
+        return SchedulerContext(
+            now_s=now,
+            free_nodes=free_tuple,
+            running=running_tuple,
+            total_nodes=n_alive,
+            system_power_w=last_power,
+            power_budget_w=cap_w,
+        )
+
+    view = ReadyView(q_recs, 0, 0, _make_ctx)
+
+    def _flush(lane: int, rec: JobRecord) -> None:
+        """Settle the open segment and write the accumulators back.
+
+        The scalar twin of the contract's ``_settle``: same ops on the
+        same values, so the record fields land bit-identical.  Stretch
+        is a pure function of the totals (elapsed / work), so deferring
+        it to the flush reproduces the reference's last-settle value.
+        """
+        row = F[lane]
+        dt = now - row[_SEG]
+        if dt > 0.0:
+            work = dt * row[_SPD]
+            energy = row[_ENG] + row[_GRT] * dt
+            elapsed = row[_ELP] + dt
+            workt = row[_WRK] + work
+        else:
+            energy = row[_ENG]
+            elapsed = row[_ELP]
+            workt = row[_WRK]
+        rec.energy_j = float(energy)
+        rec.elapsed_running_s = float(elapsed)
+        rec.work_progressed_s = float(workt)
+        if workt > 0.0:
+            rec.stretch = float(elapsed / workt)
+
+    def _remove_lane(lane: int) -> None:
+        """Swap-remove: the last lane fills the hole; maps follow."""
+        last = len(lane_jid) - 1
+        if lane != last:
+            F[lane] = F[last]
+            moved = lane_jid[last]
+            lane_jid[lane] = moved
+            lane_recs[lane] = lane_recs[last]
+            lane_serial[lane] = lane_serial[last]
+            pos[moved] = lane
+        lane_jid.pop()
+        lane_recs.pop()
+        lane_serial.pop()
+
+    def _apply_trim(rho: float, speed: float) -> None:
+        """Vectorized ``_set_speed`` over every lane.
+
+        Elementwise float64 NumPy ops perform the exact IEEE-754
+        operations the scalar helper does, in the same per-job operand
+        order, so lane state stays bit-identical to ``_Running`` state.
+        Sentinel lanes (speed 0, granted -1) are always "changed", which
+        opens fresh jobs' first segments exactly like the calendar core.
+        """
+        n = len(lane_jid)
+        if not n:
+            return
+        rows = F[:n]
+        pwr = rows[:, _PWR]
+        flr = rows[:, _FLR]
+        spd = rows[:, _SPD]
+        grt = rows[:, _GRT]
+        if rho >= 1.0:
+            granted_new = pwr.copy()
+        else:
+            dyn = pwr - flr
+            granted_new = flr + np.where(dyn > 0.0, dyn, 0.0) * rho
+        changed = (spd != speed) | (grt != granted_new)
+        if not changed.any():
+            return
+        rem = rows[:, _REM]
+        seg = rows[:, _SEG]
+        dt = now - seg
+        m = changed & (dt > 0.0)
+        if m.any():
+            dtm = dt[m]
+            work = dtm * spd[m]
+            rem[m] -= work
+            rows[:, _ENG][m] += grt[m] * dtm
+            rows[:, _ELP][m] += dtm
+            rows[:, _WRK][m] += work
+        spd[changed] = speed
+        grt[changed] = granted_new[changed]
+        seg[changed] = now
+        rows[:, _ETA][changed] = now + rem[changed] / speed
+
+    def _open_fresh(jid: int, rho: float, speed: float) -> None:
+        """Open a just-started job's first segment (trim unchanged).
+
+        The sentinel state makes ``_set_speed`` unconditionally take the
+        "changed" branch with a zero-length segment: no settle, just the
+        new speed/granted/ETA — replicated here in scalar form.
+        """
+        nonlocal eta_serial
+        lane = pos[jid]
+        job = lane_recs[lane].job
+        if rho >= 1.0:
+            granted = job.true_power_w
+        else:
+            job_floor = job.n_nodes * idle_w
+            job_dynamic = job.true_power_w - job_floor
+            granted = job_floor + (job_dynamic if job_dynamic > 0.0 else 0.0) * rho
+        row = F[lane]
+        row[_SPD] = speed
+        row[_GRT] = granted
+        row[_SEG] = now
+        eta = now + float(row[_REM]) / speed
+        row[_ETA] = eta
+        if heap_valid:
+            if stale_possible:
+                eta_serial += 1
+                lane_serial[lane] = eta_serial
+                heappush(eta_heap, (eta, jid, eta_serial))
+            else:
+                heappush(eta_heap, (eta, jid))
+
+    def _rebuild_heap() -> None:
+        nonlocal eta_heap, heap_valid, eta_serial
+        n = len(lane_jid)
+        etas = eta_col[:n].tolist()
+        if stale_possible:
+            eta_heap = []
+            for i in range(n):
+                eta_serial += 1
+                lane_serial[i] = eta_serial
+                eta_heap.append((etas[i], lane_jid[i], eta_serial))
+        else:
+            eta_heap = [(etas[i], lane_jid[i]) for i in range(n)]
+        heapq.heapify(eta_heap)
+        heap_valid = True
+
+    def _requeue_insert(rec: JobRecord) -> None:
+        """Re-insert a crashed job at its (submit, id) queue position."""
+        key = (rec.job.submit_time_s, rec.job.job_id)
+        lo, hi = q_head, len(q_recs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = q_recs[mid]
+            if (r.job.submit_time_s, r.job.job_id) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        q_recs.insert(lo, rec)
+
+    def _start_one(rec: JobRecord) -> None:
+        """Shared start bookkeeping for the generic (non-FIFO) path."""
+        nonlocal n_started_total, eta_serial
+        job = rec.job
+        k = job.n_nodes
+        if k > len(free):
+            raise RuntimeError(
+                f"policy {policy.name} started job {job.job_id} "
+                f"without enough free nodes"
+            )
+        alloc = tuple(free[:k])
+        del free[:k]
+        jid = job.job_id
+        rec.nodes = alloc
+        rec.state = running_state
+        rec.start_time_s = now
+        lane = len(lane_jid)
+        lane_jid.append(jid)
+        lane_recs.append(rec)
+        lane_serial.append(0)
+        pos[jid] = lane
+        runtime = job.true_runtime_s
+        power = job.true_power_w
+        if uncapped:
+            # rho is pinned at 1.0: open the first segment inline.
+            # `runtime / 1.0 == runtime`, so the stored ETA is the exact
+            # float the deferred `_set_speed` would produce.
+            eta = now + runtime
+            F[lane] = (
+                runtime, 1.0, power, now, eta,
+                rec.energy_j, rec.elapsed_running_s,
+                rec.work_progressed_s, power, k * idle_w,
+            )
+            if heap_valid:
+                if stale_possible:
+                    eta_serial += 1
+                    lane_serial[lane] = eta_serial
+                    heappush(eta_heap, (eta, jid, eta_serial))
+                else:
+                    heappush(eta_heap, (eta, jid))
+        else:
+            # Sentinel speed/granted: the first segment opens at the
+            # next loop top, after power is re-resolved.
+            F[lane] = (
+                runtime, 0.0, -1.0, now, _INF,
+                rec.energy_j, rec.elapsed_running_s,
+                rec.work_progressed_s, power, k * idle_w,
+            )
+            fresh_jids.append(jid)
+        running_recs[jid] = rec
+        if track_owner:
+            for node_id in alloc:
+                node_owner[node_id] = jid
+        ledger.add(job)
+        n_started_total += 1
+        if on_start is not None:
+            on_start(rec)
+
+    def try_start() -> None:
+        nonlocal q_recs, q_head, power_dirty, ctx_dirty
+        if q_head >= len(q_recs):
+            return
+        if policy_select_batch is not None:
+            view.head = q_head
+            view.n_free = len(free)
+            chosen = policy_select_batch(view)
+        else:
+            # Pass a copy, like the other cores: a policy that mutates
+            # its queue argument cannot diverge the cores.
+            chosen = policy_select(q_recs[q_head:], _make_ctx())
+        if not chosen:
+            return
+        for rec in chosen:
+            _start_one(rec)
+        m = len(chosen)
+        if (
+            chosen[0] is q_recs[q_head]
+            if m == 1
+            else all(chosen[i] is q_recs[q_head + i] for i in range(m))
+        ):
+            # Queue-order prefix (FIFO, EASY phase 1): just advance.
+            q_head += m
+        else:
+            started_ids = {r.job.job_id for r in chosen}
+            q_recs = [r for r in q_recs[q_head:] if r.job.job_id not in started_ids]
+            q_head = 0
+            view.recs = q_recs
+        power_dirty = True
+        ctx_dirty = True
+
+    def try_start_fifo() -> None:
+        """Inline FIFO admission: the batched prefix scan fused with the
+        start bookkeeping — no view, no context, no list slicing.  The
+        arithmetic per start is identical to :func:`_start_one`."""
+        nonlocal q_head, power_dirty, ctx_dirty, n_started_total, eta_serial
+        i = q_head
+        recs = q_recs
+        n_queued = len(recs)
+        if i >= n_queued:
+            return
+        free_n = len(free)
+        started_any = False
+        while i < n_queued:
+            rec = recs[i]
+            job = rec.job
+            k = job.n_nodes
+            if k > free_n:
+                break
+            free_n -= k
+            if heap_pool:
+                alloc = tuple([heappop(free) for _ in range(k)])
+            else:
+                alloc = tuple(free[:k])
+                del free[:k]
+            jid = job.job_id
+            rec.nodes = alloc
+            rec.state = running_state
+            rec.start_time_s = now
+            lane = len(lane_jid)
+            lane_jid.append(jid)
+            lane_recs.append(rec)
+            lane_serial.append(0)
+            pos[jid] = lane
+            runtime = job.true_runtime_s
+            power = job.true_power_w
+            if uncapped:
+                eta = now + runtime
+                F[lane] = (
+                    runtime, 1.0, power, now, eta,
+                    rec.energy_j, rec.elapsed_running_s,
+                    rec.work_progressed_s, power, k * idle_w,
+                )
+                if heap_valid:
+                    if stale_possible:
+                        eta_serial += 1
+                        lane_serial[lane] = eta_serial
+                        heappush(eta_heap, (eta, jid, eta_serial))
+                    else:
+                        heappush(eta_heap, (eta, jid))
+            else:
+                F[lane] = (
+                    runtime, 0.0, -1.0, now, _INF,
+                    rec.energy_j, rec.elapsed_running_s,
+                    rec.work_progressed_s, power, k * idle_w,
+                )
+                fresh_jids.append(jid)
+            if track_running:
+                running_recs[jid] = rec
+            if track_owner:
+                for node_id in alloc:
+                    node_owner[node_id] = jid
+            # _PowerLedger.add, inlined (same float ops, same order).
+            ledger.busy_nodes += k
+            ledger.running_power_w += power
+            if not uncapped:
+                dynamic = power - k * idle_w
+                if dynamic > 0.0:
+                    ledger.running_dynamic_w += dynamic
+            n_started_total += 1
+            if on_start is not None:
+                on_start(rec)
+            started_any = True
+            i += 1
+        if started_any:
+            q_head = i
+            power_dirty = True
+            ctx_dirty = True
+
+    start_fn = try_start_fifo if fifo_fast else try_start
+
+    while completed < n_jobs:
+        if power_dirty:
+            power_dirty = False
+            if uncapped:
+                # `_resolve_ledger`'s cap-free early return, inlined:
+                # demand = idle power + running power, rho/speed stay 1.
+                cur_system = cur_demand = (
+                    (n_alive - ledger.busy_nodes) * idle_w + ledger.running_power_w
+                )
+            else:
+                cur_system, cur_demand, rho, speed = _resolve_ledger(
+                    ledger, n_alive, cap_w, rho_min, speed_exponent,
+                )
+                if rho != cur_rho or speed != cur_speed:
+                    # The trim moved: every ETA shifts at once, so run
+                    # the vectorized re-trim and drop the heap (vector-
+                    # min mode) instead of rebuilding it per change.
+                    cur_rho, cur_speed = rho, speed
+                    _apply_trim(rho, speed)
+                    eta_heap = []
+                    heap_valid = False
+                    stable_events = 0
+                    fresh_jids.clear()
+                elif fresh_jids:
+                    for jid in fresh_jids:
+                        _open_fresh(jid, rho, speed)
+                    fresh_jids.clear()
+        if not heap_valid:
+            stable_events += 1
+            if stable_events >= _HEAP_HYSTERESIS:
+                _rebuild_heap()
+            n_run = len(lane_jid)
+            t_complete = float(eta_col[:n_run].min()) if n_run else _INF
+        elif eta_heap:
+            if stale_possible:
+                while True:
+                    eta, jid, ser = eta_heap[0]
+                    lane = pos_get(jid)
+                    if lane is not None and lane_serial[lane] == ser:
+                        break
+                    heappop(eta_heap)  # stale
+                    if not eta_heap:
+                        break
+                t_complete = eta_heap[0][0] if eta_heap else _INF
+            else:
+                t_complete = eta_heap[0][0]
+        else:
+            t_complete = _INF
+        # Next event: submission, earliest ETA, crash or repair.
+        t_next = t_submit if t_submit < t_complete else t_complete
+        if n_outages:
+            if outage_idx < n_outages and outages[outage_idx].at_s < t_next:
+                t_next = outages[outage_idx].at_s
+            if recoveries and recoveries[0][0] < t_next:
+                t_next = recoveries[0][0]
+        if t_next == _INF:
+            raise RuntimeError("simulation stalled: jobs pending but nothing can run")
+        dt = t_next - now
+        if dt > 0:
+            t_append(now)
+            p_append(cur_system)
+            last_power = cur_system
+            total_energy += cur_system * dt
+            if not uncapped and cur_demand > cap_w:
+                overdemand_s += dt
+            busy_node_seconds += dt * ledger.busy_nodes
+        now = t_next
+        # Completions: drain everything due at (or within slack of) now,
+        # settle in ascending job id — the shared batching rule.
+        if t_complete <= now + _ETA_EPS:
+            deadline = now + _ETA_EPS
+            finished_jids: list[int] = []
+            if heap_valid:
+                if stale_possible:
+                    while eta_heap and eta_heap[0][0] <= deadline:
+                        eta, jid, ser = heappop(eta_heap)
+                        lane = pos_get(jid)
+                        if lane is not None and lane_serial[lane] == ser:
+                            finished_jids.append(jid)
+                else:
+                    while eta_heap and eta_heap[0][0] <= deadline:
+                        finished_jids.append(heappop(eta_heap)[1])
+                if len(finished_jids) > 1:
+                    finished_jids.sort()
+            else:
+                n_run = len(lane_jid)
+                due = np.nonzero(eta_col[:n_run] <= deadline)[0]
+                finished_jids = sorted(lane_jid[i] for i in due)
+            for jid in finished_jids:
+                lane = pos_pop(jid)
+                rec = lane_recs[lane]
+                # Inline flush + swap-remove (see _flush/_remove_lane).
+                row = F[lane]
+                f_dt = now - row[_SEG]
+                if f_dt > 0.0:
+                    work = f_dt * row[_SPD]
+                    rec.energy_j = float(row[_ENG] + row[_GRT] * f_dt)
+                    rec.elapsed_running_s = float(row[_ELP] + f_dt)
+                    workt = row[_WRK] + work
+                else:
+                    rec.energy_j = float(row[_ENG])
+                    rec.elapsed_running_s = float(row[_ELP])
+                    workt = row[_WRK]
+                rec.work_progressed_s = float(workt)
+                if workt > 0.0:
+                    rec.stretch = float(rec.elapsed_running_s / workt)
+                power = float(row[_PWR])
+                k = len(rec.nodes)
+                last = len(lane_jid) - 1
+                if lane != last:
+                    F[lane] = F[last]
+                    moved = lane_jid[last]
+                    lane_jid[lane] = moved
+                    lane_recs[lane] = lane_recs[last]
+                    lane_serial[lane] = lane_serial[last]
+                    pos[moved] = lane
+                lane_jid.pop()
+                lane_recs.pop()
+                lane_serial.pop()
+                if track_running:
+                    del running_recs[jid]
+                # _PowerLedger.remove, inlined: the lane's _PWR/_FLR hold
+                # the exact floats `job.true_power_w` / floor would give.
+                ledger.busy_nodes -= k
+                ledger.running_power_w -= power
+                if not uncapped:
+                    dynamic = power - k * idle_w
+                    if dynamic > 0.0:
+                        ledger.running_dynamic_w -= dynamic
+                rec.state = completed_state
+                rec.end_time_s = now
+                if heap_pool:
+                    for node_id in rec.nodes:
+                        heappush(free, node_id)
+                elif track_owner:
+                    for node_id in rec.nodes:
+                        del node_owner[node_id]
+                        insort(free, node_id)
+                else:
+                    for node_id in rec.nodes:
+                        insort(free, node_id)
+                completed += 1
+                if on_end is not None:
+                    on_end(rec)
+            if finished_jids:
+                power_dirty = True
+                ctx_dirty = True
+        if n_outages:
+            # Node repairs: the node rejoins the free pool.
+            while recoveries and recoveries[0][0] <= now + 1e-12:
+                _, node_id = heappop(recoveries)
+                if node_id in down_nodes:
+                    down_nodes.discard(node_id)
+                    n_alive += 1
+                    insort(free, node_id)
+                    power_dirty = True
+                    ctx_dirty = True
+            # Node crashes: kill + requeue the victim, fence the node.
+            while outage_idx < n_outages and outages[outage_idx].at_s <= now + 1e-12:
+                outage = outages[outage_idx]
+                outage_idx += 1
+                node_id = outage.node_id
+                if node_id in down_nodes:
+                    # Overlapping outage on a dead node: extend.
+                    recoveries[:] = [
+                        (max(t, now + outage.duration_s), n) if n == node_id else (t, n)
+                        for t, n in recoveries
+                    ]
+                    heapq.heapify(recoveries)
+                    continue
+                down_nodes.add(node_id)
+                n_alive -= 1
+                heappush(recoveries, (now + outage.duration_s, node_id))
+                power_dirty = True
+                ctx_dirty = True
+                victim_jid = node_owner.get(node_id)
+                if victim_jid is None:
+                    # Idle node: just fence it.
+                    i = _index(free, node_id)
+                    if i is not None:
+                        del free[i]
+                    continue
+                lane = pos_pop(victim_jid)
+                rec = lane_recs[lane]
+                _flush(lane, rec)
+                _remove_lane(lane)
+                if track_running:
+                    del running_recs[victim_jid]
+                ledger.remove(rec.job)
+                if victim_jid in fresh_jids:
+                    fresh_jids.remove(victim_jid)
+                for alloc_node in rec.nodes:
+                    del node_owner[alloc_node]
+                    if alloc_node != node_id:
+                        insort(free, alloc_node)
+                rec.state = JobState.PENDING
+                rec.nodes = ()
+                rec.start_time_s = None
+                rec.requeues += 1
+                n_requeues += 1
+                _requeue_insert(rec)
+                if on_requeue is not None:
+                    on_requeue(rec)
+        # Submissions arrive in (submit, id) order: appends keep the
+        # backing queue sorted.
+        while t_submit <= now + 1e-12:
+            job = pending[submit_idx]
+            q_recs.append(records[job.job_id])
+            submit_idx += 1
+            t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else _INF
+        start_fn()
+
+    makespan = now
+    t_append(now)
+    p_append(n_nodes * idle_w)
+    trace_t = np.asarray(trace_t_l)
+    trace_p = np.asarray(trace_p_l)
+    # Publish the batched observability counters (same totals the other
+    # cores reach through per-event increments).
+    sim._m_decisions.inc(n_started_total)
+    sim._m_started.inc(n_started_total)
+    sim._m_completed.inc(completed)
+    if n_requeues:
+        sim._m_requeued.inc(n_requeues)
+    if overdemand_s:
+        sim._m_overdemand.inc(overdemand_s)
+    return sim._result(
+        pending, records, trace_t, trace_p, makespan, total_energy,
+        overdemand_s, busy_node_seconds, n_requeues,
+    )
+
+
+def _run_fifo_uncapped(
+    sim: "ClusterSimulator",
+    pending: list[Job],
+    records: dict[int, JobRecord],
+) -> SimulationResult:
+    """Flat event loop for FIFO / no cap / no outages — the replay config.
+
+    This is the configuration production-log replays run at (ROADMAP
+    item 1: 16k nodes x 1M jobs), so it gets a dedicated loop tuned to
+    what the configuration makes degenerate.  Two observations drive it:
+
+    * In CPython, any variable captured by a closure is read through a
+      cell (``LOAD_DEREF``) even in the owning frame, so the generic
+      core's hot loop pays cell-indirection on every name.  This loop
+      has no nested functions: every hot name is a true local.
+    * With the trim ratio pinned at 1.0 and no requeues, a running job
+      is *one* segment at speed 1 from start to completion — the SoA
+      lane collapses into state the simulator already holds.  The open
+      segment starts at ``rec.start_time_s``; granted power and true
+      power are both ``job.true_power_w``; the ETA lives in the heap
+      entry; the accumulators are all 0.0 until the flush.  So this
+      loop keeps **no lane array at all** and runs zero NumPy ops per
+      event (per-row view creation and scalar conversion are ~2-3us of
+      pure overhead per job at this scale).
+
+    The flush arithmetic is the contract's ``_settle`` specialized to
+    one segment: ``energy = 0.0 + true_power * dt``, ``elapsed = 0.0 +
+    dt``, ``work = 0.0 + dt * 1.0``, ``stretch = dt / dt`` — each an
+    IEEE-754 identity of the generic expression, so records land
+    bit-for-bit equal.  Further structure exploited:
+
+    * power resolution is ``(n_nodes - busy) * idle_w + running_power``,
+      two locals maintained with the exact ledger add/remove float ops;
+    * the ETA heap is never dropped (no trims) and never stale (no
+      requeues): entries are plain ``(eta, job_id)`` pairs;
+    * FIFO never reads the scheduler context, so the running-record map
+      and ``node_owner`` go unmaintained;
+    * nothing needs the free pool sorted ascending — it is kept as an
+      ascending list of *negated* ids, so the k smallest ids (the exact
+      nodes the other cores allocate) are k O(1) tail pops, and
+      completions re-insert with one bisect each, no heap sifting;
+    * submissions arrive in queue order, so the ready queue is the
+      pending list itself with two cursors (head, submitted) — no
+      appends, no per-event record-dict lookups.
+
+    Records, trace, energy and digests stay float-identical to the
+    other cores; the differential harness covers this path whenever it
+    draws a FIFO scenario with no cap and no outages.
+    """
+    n_jobs = len(pending)
+    n_nodes = sim.n_nodes
+    idle_w = sim.idle_node_power_w
+    on_start = sim.on_job_start
+    on_end = sim.on_job_end
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    running_state = JobState.RUNNING
+    completed_state = JobState.COMPLETED
+    eps = _ETA_EPS
+
+    # Free pool: ascending list of negated ids == ids descending, so
+    # the smallest live id is always the O(1) tail pop.
+    free_neg = list(range(1 - n_nodes, 1))
+    free_pop = free_neg.pop
+
+    eta_heap: list[tuple[float, int]] = []
+
+    # The ready queue is the submit-sorted pending list itself:
+    # q_recs[q_head:submit_idx] is exactly the pending queue.
+    q_recs = [records[j.job_id] for j in pending]
+    submit_times = [j.submit_time_s for j in pending]
+    rec_by_jid = records
+    q_head = 0
+    submit_idx = 0
+    t_submit = submit_times[0] if n_jobs else _INF
+
+    trace_t_l: list[float] = []
+    trace_p_l: list[float] = []
+    t_append = trace_t_l.append
+    p_append = trace_p_l.append
+
+    busy_nodes = 0
+    running_power = 0.0
+    cur_system = n_nodes * idle_w  # the all-idle machine
+    total_energy = 0.0
+    busy_node_seconds = 0.0
+    now = 0.0
+    completed = 0
+    n_started_total = 0
+
+    while completed < n_jobs:
+        t_complete = eta_heap[0][0] if eta_heap else _INF
+        t_next = t_submit if t_submit < t_complete else t_complete
+        if t_next == _INF:
+            raise RuntimeError("simulation stalled: jobs pending but nothing can run")
+        dt = t_next - now
+        if dt > 0:
+            t_append(now)
+            p_append(cur_system)
+            total_energy += cur_system * dt
+            busy_node_seconds += dt * busy_nodes
+        now = t_next
+        if t_complete <= now + eps:
+            deadline = now + eps
+            # Single completion is the overwhelmingly common case: skip
+            # the list/sort machinery (ascending-id batching is a no-op
+            # for one job).
+            jid0 = heappop(eta_heap)[1]
+            if eta_heap and eta_heap[0][0] <= deadline:
+                finished = [jid0, heappop(eta_heap)[1]]
+                while eta_heap and eta_heap[0][0] <= deadline:
+                    finished.append(heappop(eta_heap)[1])
+                finished.sort()
+            else:
+                finished = (jid0,)
+            for jid in finished:
+                rec = rec_by_jid[jid]
+                # Flush: `_settle` specialized to the job's single
+                # speed-1 segment (identities noted in the docstring).
+                f_dt = now - rec.start_time_s
+                power = rec.job.true_power_w
+                if f_dt > 0.0:
+                    rec.energy_j = power * f_dt
+                    rec.elapsed_running_s = f_dt
+                    rec.work_progressed_s = f_dt
+                    rec.stretch = f_dt / f_dt
+                # Ledger remove, inlined.
+                nodes = rec.nodes
+                busy_nodes -= len(nodes)
+                running_power -= power
+                rec.state = completed_state
+                rec.end_time_s = now
+                for node_id in nodes:
+                    insort(free_neg, -node_id)
+                completed += 1
+                if on_end is not None:
+                    on_end(rec)
+        while t_submit <= now + 1e-12:
+            submit_idx += 1
+            t_submit = submit_times[submit_idx] if submit_idx < n_jobs else _INF
+        # FIFO admission: queue-order starts until the head blocks.
+        i = q_head
+        if i < submit_idx:
+            free_n = n_nodes - busy_nodes
+            while i < submit_idx:
+                rec = q_recs[i]
+                job = rec.job
+                k = job.n_nodes
+                if k > free_n:
+                    break
+                free_n -= k
+                if k == 1:
+                    rec.nodes = (-free_pop(),)
+                else:
+                    rec.nodes = tuple([-free_pop() for _ in range(k)])
+                rec.state = running_state
+                rec.start_time_s = now
+                power = job.true_power_w
+                heappush(eta_heap, (now + job.true_runtime_s, job.job_id))
+                # Ledger add, inlined.
+                busy_nodes += k
+                running_power += power
+                n_started_total += 1
+                if on_start is not None:
+                    on_start(rec)
+                i += 1
+            q_head = i
+        # Re-resolve system power (idempotent when nothing changed).
+        cur_system = (n_nodes - busy_nodes) * idle_w + running_power
+
+    makespan = now
+    t_append(now)
+    p_append(n_nodes * idle_w)
+    sim._m_decisions.inc(n_started_total)
+    sim._m_started.inc(n_started_total)
+    sim._m_completed.inc(completed)
+    return sim._result(
+        pending, records, np.asarray(trace_t_l), np.asarray(trace_p_l),
+        makespan, total_energy, 0.0, busy_node_seconds, 0,
+    )

@@ -5,9 +5,10 @@ per event to rescan completion ETAs and re-apply the trim, O(n log n)
 to rebuild the free-node tuple, and O(queue log queue) to re-sort the
 ready queue after a requeue.  This core replaces those scans with
 incremental structures while performing the *same float arithmetic in
-the same order* (the shared `_settle` / `_set_speed` / `_PowerLedger` /
-`_resolve_ledger` contract), so its :class:`SimulationResult` is
-float-identical to the reference's at equal seeds:
+the same order* (the shared :mod:`repro.scheduler.contract` helpers
+`_settle` / `_set_speed` / `_PowerLedger` / `_resolve_ledger`), so its
+:class:`SimulationResult` is float-identical to the reference's at
+equal seeds:
 
 * **completion calendar** — a lazy-invalidation heap of
   ``(eta_s, job_id, serial)`` entries.  Each running job carries a
@@ -39,17 +40,17 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .job import Job, JobRecord, JobState
-from .policies import SchedulerContext
-from .simulate import (
+from .contract import (
     _ETA_EPS,
-    SimulationResult,
     _PowerLedger,
-    _resolve_ledger,
     _Running,
+    _resolve_ledger,
     _set_speed,
     _settle,
 )
+from .job import Job, JobRecord, JobState
+from .policies import SchedulerContext
+from .simulate import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from .simulate import ClusterSimulator

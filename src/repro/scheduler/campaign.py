@@ -48,11 +48,13 @@ __all__ = [
     "scenario_workload",
     "run_scenario",
     "run_campaign",
+    "merge_results",
     "result_digest",
     "campaign_digest",
 ]
 
 _POLICIES = ("fifo", "easy", "power-aware")
+_CORES = ("reference", "calendar", "array")
 
 
 @dataclass(frozen=True)
@@ -77,11 +79,20 @@ class Scenario:
     train_fraction: float = 0.0
     node_outages: tuple[NodeOutage, ...] = ()
     reference: bool = False
+    #: Simulator backend for this cell (None = campaign default: the
+    #: array core, or the reference core when ``reference=True``).  All
+    #: cores are digest-identical, so this only trades speed — pinned by
+    #: ``tests/test_campaign.py``.
+    core: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.policy not in _POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}; pick one of {_POLICIES}")
+        if self.core is not None and self.core not in _CORES:
+            raise ValueError(f"unknown core {self.core!r}; pick one of {_CORES}")
+        if self.reference and self.core not in (None, "reference"):
+            raise ValueError(f"reference=True conflicts with core={self.core!r}")
         if not 0.0 <= self.train_fraction < 1.0:
             raise ValueError("train fraction must lie in [0, 1)")
         if self.policy == "power-aware" and self.budget_w is None and self.cap_w is None:
@@ -112,11 +123,21 @@ class CampaignConfig:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """QoS summary + content digest of one scenario run (picklable)."""
+    """QoS summary + content digest of one scenario run (picklable).
+
+    ``result`` carries the full :class:`SimulationResult` only when the
+    campaign ran with ``keep_results=True`` — its lazy QoS caches are
+    dropped at every pickle boundary (see ``SimulationResult.
+    __getstate__``), so a result that crossed a process pool rebuilds
+    metrics from its records instead of serving stale cached values.
+    """
 
     scenario: Scenario
     qos: dict[str, float] = field(compare=False)
     digest: str = ""
+    result: Optional[SimulationResult] = field(
+        default=None, compare=False, repr=False
+    )
 
 
 def scenario_rng(root_seed: int, seed_index: int) -> np.random.Generator:
@@ -213,8 +234,18 @@ def _qos_summary(result: SimulationResult) -> dict[str, float]:
     }
 
 
-def run_scenario(config: CampaignConfig, scenario: Scenario) -> ScenarioResult:
-    """Run one grid cell start-to-finish (also the pool worker body)."""
+def run_scenario(
+    config: CampaignConfig,
+    scenario: Scenario,
+    keep_result: bool = False,
+) -> ScenarioResult:
+    """Run one grid cell start-to-finish (also the pool worker body).
+
+    The backend defaults to the array core — the fastest of the three
+    digest-identical cores — unless the scenario pins ``core`` or asks
+    for the reference oracle.  ``keep_result=True`` attaches the full
+    :class:`SimulationResult` to the returned cell.
+    """
     jobs = scenario_workload(config, scenario)
     if scenario.train_fraction > 0.0:
         split = int(len(jobs) * scenario.train_fraction)
@@ -223,6 +254,9 @@ def run_scenario(config: CampaignConfig, scenario: Scenario) -> ScenarioResult:
             raise ValueError("train fraction leaves an empty split")
     else:
         train, test = [], jobs
+    core = scenario.core
+    if core is None:
+        core = "reference" if scenario.reference else "array"
     sim = ClusterSimulator(
         n_nodes=config.n_nodes,
         policy=_build_policy(config, scenario, train),
@@ -231,17 +265,18 @@ def run_scenario(config: CampaignConfig, scenario: Scenario) -> ScenarioResult:
         speed_exponent=config.speed_exponent,
         min_speed=config.min_speed,
         node_outages=scenario.node_outages,
-        reference=scenario.reference,
+        core=core,
     )
     result = sim.run(test)
     return ScenarioResult(
         scenario=scenario,
         qos=_qos_summary(result),
         digest=result_digest(result),
+        result=result if keep_result else None,
     )
 
 
-def _run_cell(payload: tuple[CampaignConfig, Scenario]) -> ScenarioResult:
+def _run_cell(payload: tuple[CampaignConfig, Scenario, bool]) -> ScenarioResult:
     return run_scenario(*payload)
 
 
@@ -250,13 +285,17 @@ def run_campaign(
     scenarios: Sequence[Scenario],
     processes: Optional[int] = None,
     start_method: Optional[str] = None,
+    keep_results: bool = False,
 ) -> list[ScenarioResult]:
     """Run a scenario grid, results merged in submission order.
 
     ``processes=None`` uses ``min(len(scenarios), cpu_count)``;
     ``processes<=1`` runs serially in-process (no pool, no pickling).
     The result list is bitwise independent of the pool size — pinned by
-    ``tests/test_campaign.py``.
+    ``tests/test_campaign.py``.  ``keep_results=True`` ships each cell's
+    full :class:`SimulationResult` back with it (through the pickle
+    boundary when a pool is used, so lazy QoS caches are rebuilt, not
+    transferred).
     """
     scenarios = list(scenarios)
     if not scenarios:
@@ -264,17 +303,55 @@ def run_campaign(
     if processes is None:
         processes = min(len(scenarios), os.cpu_count() or 1)
     if processes <= 1 or len(scenarios) == 1:
-        return [run_scenario(config, s) for s in scenarios]
+        return [run_scenario(config, s, keep_result=keep_results) for s in scenarios]
     if start_method is None:
         start_method = (
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
     ctx = multiprocessing.get_context(start_method)
-    payloads = [(config, s) for s in scenarios]
+    payloads = [(config, s, keep_results) for s in scenarios]
     with ctx.Pool(processes=processes) as pool:
         # chunksize=1: cells are coarse; keep the order-preserving map
         # fine-grained so stragglers don't serialize whole chunks.
         return pool.map(_run_cell, payloads, chunksize=1)
+
+
+def merge_results(*result_lists: Sequence[ScenarioResult]) -> list[ScenarioResult]:
+    """Merge result lists from split campaign runs into one.
+
+    Shards of one grid can run on different pools (or different hosts)
+    and be merged afterwards; concatenation preserves the given order
+    while enforcing the campaign invariants: a scenario that appears in
+    several shards must have produced the *same digest* everywhere
+    (anything else means the shards did not share a root seed or code
+    version — raise, never silently pick one), and identical duplicates
+    collapse to one entry at the first occurrence's position — keeping
+    whichever copy still carries its full ``result`` payload
+    (``keep_results=True``), so merging a metrics-only shard with a kept
+    shard never loses data.  Payloads ride along untouched; their QoS
+    caches were dropped at the shard's pickle boundary, so the merged
+    list rebuilds metrics from records on next access instead of
+    serving stale cached values.
+    """
+    merged: list[ScenarioResult] = []
+    seen: dict[str, int] = {}
+    for results in result_lists:
+        for r in results:
+            key = repr(r.scenario)
+            at = seen.get(key)
+            if at is None:
+                seen[key] = len(merged)
+                merged.append(r)
+                continue
+            prev = merged[at]
+            if prev.digest != r.digest:
+                raise ValueError(
+                    f"conflicting digests for scenario {r.scenario.label or key}: "
+                    f"{prev.digest[:16]}… vs {r.digest[:16]}…"
+                )
+            if prev.result is None and r.result is not None:
+                merged[at] = r
+    return merged
 
 
 def campaign_digest(results: Sequence[ScenarioResult]) -> str:

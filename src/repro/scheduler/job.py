@@ -25,7 +25,7 @@ class JobState(enum.Enum):
     COMPLETED = "completed"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Job:
     """An immutable job submission plus its hidden ground truth.
 
@@ -73,9 +73,15 @@ class Job:
         return replace(self, true_runtime_s=self.true_runtime_s * factor)
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
-    """Mutable execution record the simulator maintains per job."""
+    """Mutable execution record the simulator maintains per job.
+
+    ``slots=True`` matters at replay scale: a 1M-job run holds 1M live
+    records, and slot storage both halves their footprint and keeps
+    field access off the per-instance dict — the array core's flat loop
+    is attribute-bound on exactly these objects.
+    """
 
     job: Job
     state: JobState = JobState.PENDING

@@ -10,11 +10,17 @@ which pending jobs to start now.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from .job import JobRecord
 
-__all__ = ["SchedulerContext", "SchedulingPolicy", "FifoScheduler", "EasyBackfillScheduler"]
+__all__ = [
+    "SchedulerContext",
+    "SchedulingPolicy",
+    "ReadyView",
+    "FifoScheduler",
+    "EasyBackfillScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -29,6 +35,65 @@ class SchedulerContext:
     system_power_w: float = 0.0
     #: Active system power budget (None = uncapped).
     power_budget_w: float | None = None
+
+
+class ReadyView:
+    """Batched view of the ready queue for ``select_batch`` policies.
+
+    The array core maintains the queue as a backing list plus a cursor —
+    ``recs[head:]`` is the pending queue in (submit, id) order — so a
+    batch policy never forces the per-event O(queue) defensive copy the
+    ``select`` entry point requires, and queue-order policies skip
+    building the (costly) frozen :class:`SchedulerContext` entirely.
+    The full context stays available through :meth:`ctx` for policies
+    that need the running set.
+
+    A batch decision must equal ``policy.select(view.tail(), view.ctx())``
+    record-for-record: the differential harness pins this by running the
+    same scenarios through cores that use either entry point.
+    """
+
+    __slots__ = ("recs", "head", "n_free", "_ctx_factory")
+
+    def __init__(
+        self,
+        recs: list[JobRecord],
+        head: int,
+        n_free: int,
+        ctx_factory: Callable[[], SchedulerContext],
+    ):
+        self.recs = recs
+        self.head = head
+        self.n_free = n_free
+        self._ctx_factory = ctx_factory
+
+    def __len__(self) -> int:
+        return len(self.recs) - self.head
+
+    def tail(self) -> list[JobRecord]:
+        """The pending queue as a fresh list (safe for policies to mutate)."""
+        return self.recs[self.head:]
+
+    def ctx(self) -> SchedulerContext:
+        """The full scheduling context (built lazily by the core)."""
+        return self._ctx_factory()
+
+    def prefix_fit(self, free: int) -> int:
+        """How many queue-order head jobs fit in ``free`` nodes.
+
+        The scan stops at the first blocker, so its cost is bounded by
+        the number of jobs that actually start (amortized O(1) per
+        start) — never by the backlog depth.
+        """
+        k = 0
+        recs = self.recs
+        for i in range(self.head, len(recs)):
+            n = recs[i].job.n_nodes
+            if n > free:
+                break
+            free -= n
+            k += 1
+        return k
 
 
 class SchedulingPolicy(Protocol):
@@ -58,6 +123,11 @@ class FifoScheduler:
                 break
         return started
 
+    def select_batch(self, view: ReadyView) -> list[JobRecord]:
+        """FIFO is exactly a bounded prefix scan: no copy, no context."""
+        k = view.prefix_fit(view.n_free)
+        return view.recs[view.head : view.head + k] if k else []
+
 
 class EasyBackfillScheduler:
     """EASY backfill: FIFO head reservation + conservative hole-filling.
@@ -85,6 +155,38 @@ class EasyBackfillScheduler:
             free -= rec.job.n_nodes
         if not queue:
             return started
+        return self._reserve_and_backfill(started, queue, free, ctx)
+
+    def select_batch(self, view: ReadyView) -> list[JobRecord]:
+        """Batched EASY: prefix scan first, context only when it matters.
+
+        Jobs need at least one node, so with zero free nodes neither the
+        FIFO prefix nor any backfill candidate can start — return empty
+        without materializing the context.  Otherwise the FIFO prefix is
+        the same bounded scan FIFO uses, and phases 2–3 run unchanged on
+        the remainder.
+        """
+        free = view.n_free
+        if free == 0:
+            return []
+        k = view.prefix_fit(free)
+        head = view.head
+        started = view.recs[head : head + k]
+        rest = view.recs[head + k :]
+        if not rest:
+            return started
+        for rec in started:
+            free -= rec.job.n_nodes
+        return self._reserve_and_backfill(started, rest, free, view.ctx())
+
+    def _reserve_and_backfill(
+        self,
+        started: list[JobRecord],
+        queue: list[JobRecord],
+        free: int,
+        ctx: SchedulerContext,
+    ) -> list[JobRecord]:
+        """Phases 2–3: head reservation + conservative hole-filling."""
         head = queue[0]
         # Phase 2: compute the head job's reservation from running jobs'
         # *requested* end times (the scheduler cannot see true runtimes).

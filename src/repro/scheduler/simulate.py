@@ -20,22 +20,29 @@ Jobs progress in *work seconds*: a job finishes when its accumulated
 ``speed * dt`` reaches its true runtime, so capping stretches wall-clock
 exactly as the real machine's throttling does.
 
-Two interchangeable cores execute the same event semantics (DESIGN.md
-§9 states the equivalence contract):
+Three interchangeable cores execute the same event semantics (DESIGN.md
+§9–10 state the equivalence contract):
 
-* the **reference core** (``reference=True``) is the naive loop: every
+* the **reference core** (``core="reference"``) is the naive loop: every
   event it rescans all running jobs for the earliest completion and
   re-applies the trim to each of them, and it keeps the ready queue as a
   plain list with ``remove`` + full re-sort;
-* the **calendar core** (the default, :mod:`repro.scheduler.calendar`)
-  keeps completion ETAs in a lazy-invalidation heap, re-applies the trim
-  only when the trim ratio actually moved, and uses incremental
-  free-node / ready-queue / power-trace structures.
+* the **calendar core** (``core="calendar"``, the default,
+  :mod:`repro.scheduler.calendar`) keeps completion ETAs in a
+  lazy-invalidation heap, re-applies the trim only when the trim ratio
+  actually moved, and uses incremental free-node / ready-queue /
+  power-trace structures;
+* the **array core** (``core="array"``,
+  :mod:`repro.scheduler.array_core`) keeps running-job state in
+  structure-of-arrays NumPy lanes, vectorizes trim re-application and
+  completion-ETA recomputation, and batches equal-timestamp events.
 
-Both cores share the segment arithmetic below (`_PowerLedger`,
-`_settle`, `_set_speed`, `_resolve_ledger`), so at equal seeds they
-produce float-identical :class:`SimulationResult`\\ s — pinned by
-``tests/test_sched_equivalence.py`` and benchmarked by
+All cores share the segment arithmetic of
+:mod:`repro.scheduler.contract` (`_PowerLedger`, `_settle`,
+`_set_speed`, `_resolve_ledger`), so at equal seeds they produce
+float-identical :class:`SimulationResult`\\ s — pinned by
+``tests/test_sched_equivalence.py`` plus the differential harness in
+``tests/diff_harness.py``, and benchmarked by
 ``benchmarks/bench_sched.py``.
 """
 
@@ -50,15 +57,21 @@ import numpy as np
 from ..compat import pop_alias, reject_unknown_kwargs, rename_kwargs
 from ..observability import Observability, null_observability
 from ..power.trace import PowerTrace
+from .contract import (
+    _ETA_EPS,
+    _PowerLedger,
+    _Running,
+    _resolve_ledger,
+    _set_speed,
+    _settle,
+)
 from .job import Job, JobRecord, JobState
 from .policies import SchedulerContext, SchedulingPolicy
 
-__all__ = ["NodeOutage", "SimulationResult", "ClusterSimulator"]
+__all__ = ["NodeOutage", "SimulationResult", "ClusterSimulator", "SIMULATOR_CORES"]
 
-#: Completion slack: a job whose stored ETA is within this many seconds
-#: of the current event time is considered finished (absolute, matching
-#: the submission/outage epsilons below).
-_ETA_EPS = 1e-9
+#: The selectable simulation backends, cheapest-to-fastest.
+SIMULATOR_CORES = ("reference", "calendar", "array")
 
 
 @dataclass(frozen=True)
@@ -77,153 +90,17 @@ class NodeOutage:
             raise ValueError("node id must be non-negative")
 
 
-class _Running:
-    """Per-attempt execution state of one running job.
-
-    A job's life between speed changes is a *segment* of constant speed
-    and granted power; work, energy and stretch are debited when the
-    segment closes (:func:`_settle`), never per event.  ``eta_s`` is the
-    completion time implied by the current segment and stays valid until
-    the segment closes; ``eta_serial`` versions it for the calendar
-    core's lazy-invalidation heap.
-    """
-
-    __slots__ = (
-        "record", "remaining_work_s", "speed", "granted_power_w",
-        "seg_start_s", "eta_s", "eta_serial",
-    )
-
-    def __init__(self, record: JobRecord, remaining_work_s: float, now: float):
-        self.record = record
-        self.remaining_work_s = remaining_work_s
-        # Sentinels force the first _set_speed to initialize the segment.
-        self.speed = 0.0
-        self.granted_power_w = -1.0
-        self.seg_start_s = now
-        self.eta_s = np.inf
-        self.eta_serial = 0
-
-
-class _PowerLedger:
-    """Incremental demand/floor/busy-node accounting.
-
-    Both cores mutate the ledger with the same ``add``/``remove`` call
-    sequence (job start, finish, crash-requeue), so the float state is
-    identical between them — the foundation of the equivalence contract.
-    """
-
-    __slots__ = ("idle_node_power_w", "busy_nodes", "running_power_w", "running_dynamic_w")
-
-    def __init__(self, idle_node_power_w: float):
-        self.idle_node_power_w = idle_node_power_w
-        self.busy_nodes = 0            # int: exact arithmetic
-        self.running_power_w = 0.0     # sum of true job powers
-        self.running_dynamic_w = 0.0   # sum of max(power - idle floor, 0)
-
-    def add(self, job: Job) -> None:
-        self.busy_nodes += job.n_nodes
-        power = job.true_power_w
-        self.running_power_w += power
-        dynamic = power - job.n_nodes * self.idle_node_power_w
-        if dynamic > 0.0:
-            self.running_dynamic_w += dynamic
-
-    def remove(self, job: Job) -> None:
-        self.busy_nodes -= job.n_nodes
-        power = job.true_power_w
-        self.running_power_w -= power
-        dynamic = power - job.n_nodes * self.idle_node_power_w
-        if dynamic > 0.0:
-            self.running_dynamic_w -= dynamic
-
-
-def _settle(r: _Running, now: float) -> None:
-    """Close the current constant-speed segment at ``now``.
-
-    Debits work progress, bills energy, and folds the segment into the
-    record's accumulated-stretch ledger (elapsed running time over work
-    progressed — the true accumulated stretch, not the historical
-    max-instantaneous ``1/speed``).
-    """
-    dt = now - r.seg_start_s
-    if dt > 0.0:
-        rec = r.record
-        work = dt * r.speed
-        r.remaining_work_s -= work
-        rec.energy_j += r.granted_power_w * dt
-        rec.elapsed_running_s += dt
-        rec.work_progressed_s += work
-        if rec.work_progressed_s > 0.0:
-            rec.stretch = rec.elapsed_running_s / rec.work_progressed_s
-        r.seg_start_s = now
-
-
-def _set_speed(r: _Running, rho: float, speed: float, idle_node_power_w: float,
-               now: float) -> bool:
-    """Apply the system trim ratio to one running job.
-
-    Settles the open segment and starts a new one iff the job's speed or
-    granted power actually changes; returns whether it did (the calendar
-    core uses this to know the stored ETA moved).
-    """
-    job = r.record.job
-    if rho >= 1.0:
-        granted = job.true_power_w
-    else:
-        job_floor = job.n_nodes * idle_node_power_w
-        job_dynamic = job.true_power_w - job_floor
-        granted = job_floor + (job_dynamic if job_dynamic > 0.0 else 0.0) * rho
-    if speed == r.speed and granted == r.granted_power_w:
-        return False
-    _settle(r, now)
-    r.speed = speed
-    r.granted_power_w = granted
-    r.seg_start_s = now
-    r.eta_s = now + r.remaining_work_s / speed
-    return True
-
-
-def _resolve_ledger(
-    ledger: _PowerLedger,
-    n_alive: int,
-    cap_w: Optional[float],
-    rho_min: float,
-    speed_exponent: float,
-) -> tuple[float, float, float, float]:
-    """System power under the reactive trim; returns
-    ``(system_w, demand_w, rho, speed)``.
-
-    ``demand`` is the pre-trim draw; ``rho`` scales every running job's
-    dynamic share so the system fits under ``cap_w`` (clipped at the
-    hardware's speed floor), and ``speed = rho ** speed_exponent``.
-    """
-    idle_w = ledger.idle_node_power_w
-    idle_power = (n_alive - ledger.busy_nodes) * idle_w
-    demand = idle_power + ledger.running_power_w
-    if cap_w is None or demand <= cap_w:
-        return demand, demand, 1.0, 1.0
-    floor = idle_power + ledger.busy_nodes * idle_w
-    dynamic = demand - floor
-    if dynamic <= 0.0:
-        return demand, demand, 1.0, 1.0  # nothing controllable
-    rho = (cap_w - floor) / dynamic
-    if rho < 0.0:
-        rho = 0.0
-    # Speed floor limits how hard the hardware can throttle.
-    rho = float(np.clip(rho, rho_min, 1.0))
-    if rho >= 1.0:
-        return demand, demand, 1.0, 1.0
-    system = floor + ledger.running_dynamic_w * rho
-    return system, demand, rho, rho**speed_exponent
-
-
 @dataclass(frozen=True)
 class SimulationResult:
     """Everything the metrics layer needs from one simulation run.
 
     QoS helpers compute their per-record arrays once and cache them, so
     metric-heavy campaign post-processing does not re-materialize a
-    Python list + NumPy array per metric call.
+    Python list + NumPy array per metric call.  The caches are derived
+    state: they are dropped on pickling (results shipped through the
+    campaign runner's process pool, or merged by
+    :func:`~repro.scheduler.campaign.merge_results`, must rebuild them
+    from their own records rather than inherit a donor's arrays).
     """
 
     records: tuple[JobRecord, ...]
@@ -237,6 +114,26 @@ class SimulationResult:
     utilization: float
     #: Job restarts forced by node crashes (0 without fault injection).
     n_requeues: int = 0
+
+    #: Keys in ``__dict__`` that hold lazily built caches, not fields.
+    _CACHE_KEYS = ("_qos_cache", "_cap_violation")
+
+    def __getstate__(self):
+        """Pickle without the QoS caches (derived, rebuilt on demand).
+
+        Campaign workers call every QoS method to build their summary,
+        which populates the caches; without this hook the cached arrays
+        would ride along through the pool and any later merge would risk
+        serving metrics from an inherited cache instead of its own
+        records.  Regression-pinned in ``tests/test_campaign.py``.
+        """
+        state = dict(self.__dict__)
+        for key in self._CACHE_KEYS:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # -- cached per-record arrays -------------------------------------------------
     def _qos_arrays(self) -> dict[str, np.ndarray]:
@@ -320,6 +217,7 @@ class ClusterSimulator:
         on_job_requeue=None,
         obs: Optional[Observability] = None,
         reference: bool = False,
+        core: Optional[str] = None,
         **legacy,
     ):
         """``cap_w`` is the reactive RAPL-style trim threshold (the old
@@ -331,14 +229,26 @@ class ClusterSimulator:
         crashes: a crashed node's job is killed and requeued (restarting
         from scratch, its burnt joules staying on its record), the node is
         excluded from dispatch until it rejoins, and ``on_job_requeue(rec)``
-        fires for each kill.  ``reference=True`` selects the naive
-        rescanning core (the equivalence oracle and benchmark baseline);
-        the default is the event-calendar core, which produces
-        float-identical results."""
+        fires for each kill.
+
+        ``core`` picks the simulation backend — one of
+        :data:`SIMULATOR_CORES`: ``"reference"`` is the naive rescanning
+        loop (the equivalence oracle and benchmark baseline),
+        ``"calendar"`` (the default) the event-calendar core, and
+        ``"array"`` the structure-of-arrays core for machine-room scale.
+        All three produce float-identical results.  ``reference=True``
+        is the pre-``core`` spelling of ``core="reference"`` and still
+        works."""
         if legacy:
             rename_kwargs("ClusterSimulator", legacy, {"reactive_cap_w": "cap_w"})
             cap_w = pop_alias("ClusterSimulator", legacy, "cap_w", cap_w)
             reject_unknown_kwargs("ClusterSimulator", legacy)
+        if core is None:
+            core = "reference" if reference else "calendar"
+        elif core not in SIMULATOR_CORES:
+            raise ValueError(f"unknown core {core!r}; pick one of {SIMULATOR_CORES}")
+        elif reference and core != "reference":
+            raise ValueError(f"reference=True conflicts with core={core!r}")
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if cap_w is not None and cap_w <= 0:
@@ -358,7 +268,8 @@ class ClusterSimulator:
         self.on_job_end = on_job_end
         self.node_outages = tuple(sorted(node_outages, key=lambda o: (o.at_s, o.node_id)))
         self.on_job_requeue = on_job_requeue
-        self.reference = bool(reference)
+        self.core = core
+        self.reference = core == "reference"
         # Observability handles, resolved once (no-op when not wired in).
         self.obs = obs if obs is not None else null_observability()
         m = self.obs.metrics
@@ -383,8 +294,12 @@ class ClusterSimulator:
         """Simulate the full job stream to completion."""
         if not jobs:
             raise ValueError("empty job stream")
-        if self.reference:
+        if self.core == "reference":
             return self._run_reference(jobs)
+        if self.core == "array":
+            from .array_core import run_array
+
+            return run_array(self, jobs)
         from .calendar import run_calendar
 
         return run_calendar(self, jobs)

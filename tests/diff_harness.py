@@ -1,0 +1,268 @@
+"""Differential harness pinning the three simulator cores to one contract.
+
+The repo ships three interchangeable ``ClusterSimulator`` backends —
+``reference`` (O(n) tick loop), ``calendar`` (event calendar) and
+``array`` (structure-of-arrays, vectorized) — that must be
+*float-identical*: every record field, every trace sample, every QoS
+metric, every digest.  This module generates seeded random scenarios
+across the dimensions that have historically diverged cores (policy x
+cap schedule x outage pattern x workload shape), runs each scenario
+through all cores, and compares field by field.
+
+Use it three ways:
+
+* as a library: ``assert_equivalent(seed)`` from any test;
+* pytest: ``tests/test_array_equivalence.py`` parametrizes over seeds;
+* CLI (CI smoke): ``python tests/diff_harness.py --scenarios 50``
+  or reproduce one failure with ``python tests/diff_harness.py --seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # let `python tests/diff_harness.py` work bare
+    sys.path.insert(0, _SRC)
+
+from repro.scheduler.campaign import result_digest
+from repro.scheduler.job import Job
+from repro.scheduler.policies import EasyBackfillScheduler, FifoScheduler
+from repro.scheduler.power_aware import PowerAwareScheduler, request_based_predictor
+from repro.scheduler.simulate import ClusterSimulator, NodeOutage, SimulationResult
+from repro.scheduler.thermal_aware import TimeVaryingBudgetScheduler, day_night_budget
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+
+CORES = ("reference", "calendar", "array")
+
+#: Per-node power budget used to scale caps to cluster size (matches the
+#: D.A.V.I.D.E. bench settings: ~1150 W/node of rack budget).
+BUDGET_PER_NODE_W = 1150.0
+
+_RECORD_FIELDS = (
+    "state",
+    "start_time_s",
+    "end_time_s",
+    "nodes",
+    "energy_j",
+    "elapsed_running_s",
+    "work_progressed_s",
+    "stretch",
+    "requeues",
+)
+
+_RESULT_FIELDS = (
+    "makespan_s",
+    "total_energy_j",
+    "cap_w",
+    "overdemand_s",
+    "utilization",
+    "n_requeues",
+)
+
+_QOS_METRICS = (
+    "mean_wait_s",
+    "p95_wait_s",
+    "mean_bounded_slowdown",
+    "mean_stretch",
+    "mean_power_w",
+)
+
+
+@dataclass(frozen=True)
+class HarnessScenario:
+    """One random draw from the scenario space (reconstructible from seed)."""
+
+    seed: int
+    label: str
+    n_nodes: int
+    n_jobs: int
+    load_factor: float
+    policy_kind: str  # fifo | easy | power-aware | time-varying
+    cap_w: Optional[float]
+    outages: tuple[NodeOutage, ...] = ()
+
+    def build_policy(self):
+        """A fresh policy instance (stateful policies must not be shared)."""
+        if self.policy_kind == "fifo":
+            return FifoScheduler()
+        if self.policy_kind == "easy":
+            return EasyBackfillScheduler()
+        if self.policy_kind == "power-aware":
+            assert self.cap_w is not None
+            return PowerAwareScheduler(
+                cap_w=self.cap_w,
+                predictor=request_based_predictor(2 * BUDGET_PER_NODE_W),
+            )
+        if self.policy_kind == "time-varying":
+            assert self.cap_w is not None
+            return TimeVaryingBudgetScheduler(
+                day_night_budget(self.cap_w, 0.8 * self.cap_w),
+            )
+        raise ValueError(f"unknown policy kind {self.policy_kind!r}")
+
+    def build_jobs(self) -> list[Job]:
+        config = WorkloadConfig(
+            n_jobs=self.n_jobs,
+            n_users=4,
+            cluster_nodes=self.n_nodes,
+            load_factor=self.load_factor,
+        )
+        gen = WorkloadGenerator(config, rng=np.random.default_rng(self.seed))
+        return gen.generate()
+
+
+def random_scenario(seed: int) -> HarnessScenario:
+    """Deterministically expand ``seed`` into one scenario.
+
+    Dimensions: cluster size (4–64 nodes), workload shape (20–120 jobs,
+    light to oversubscribed), policy (FIFO / EASY / power-aware /
+    time-varying budget), cap schedule (uncapped, or 55–90 % of the
+    nameplate budget), and outage pattern (none, or 1–4 crash/repair
+    cycles inside the busy window).  Tiny clusters + heavy caps maximize
+    event collisions — the regime where core divergence hides.
+    """
+    rng = random.Random(seed)
+    n_nodes = rng.choice((4, 8, 16, 24, 32, 64))
+    n_jobs = rng.randrange(20, 121)
+    load_factor = rng.choice((0.5, 0.9, 1.3))
+    policy_kind = rng.choice(("fifo", "easy", "easy", "power-aware", "time-varying"))
+
+    if policy_kind in ("power-aware", "time-varying"):
+        cap_fraction: Optional[float] = rng.choice((0.55, 0.7, 0.9))
+    else:
+        cap_fraction = rng.choice((None, 0.55, 0.7, 0.9))
+    cap_w = None if cap_fraction is None else cap_fraction * n_nodes * BUDGET_PER_NODE_W
+
+    outages: list[NodeOutage] = []
+    if rng.random() < 0.5:
+        # Crash inside the first few workload hours, where jobs run.
+        for _ in range(rng.randrange(1, 5)):
+            outages.append(
+                NodeOutage(
+                    at_s=rng.uniform(100.0, 20_000.0),
+                    node_id=rng.randrange(n_nodes),
+                    duration_s=rng.uniform(300.0, 10_000.0),
+                )
+            )
+    label = (
+        f"{policy_kind}/n{n_nodes}/j{n_jobs}/load{load_factor}"
+        f"/cap{cap_fraction}/out{len(outages)}"
+    )
+    return HarnessScenario(
+        seed=seed,
+        label=label,
+        n_nodes=n_nodes,
+        n_jobs=n_jobs,
+        load_factor=load_factor,
+        policy_kind=policy_kind,
+        cap_w=cap_w,
+        outages=tuple(outages),
+    )
+
+
+def run_core(scenario: HarnessScenario, core: str) -> SimulationResult:
+    """Run ``scenario`` on one simulator core (fresh policy + workload)."""
+    sim = ClusterSimulator(
+        n_nodes=scenario.n_nodes,
+        policy=scenario.build_policy(),
+        cap_w=scenario.cap_w,
+        node_outages=scenario.outages,
+        core=core,
+    )
+    return sim.run(scenario.build_jobs())
+
+
+def _fail(scenario: HarnessScenario, detail: str) -> None:
+    raise AssertionError(
+        f"core divergence in scenario {scenario.label} (seed {scenario.seed}): "
+        f"{detail}\nreproduce with: python tests/diff_harness.py --seed {scenario.seed}"
+    )
+
+
+def compare_results(
+    scenario: HarnessScenario,
+    base: SimulationResult,
+    base_core: str,
+    other: SimulationResult,
+    other_core: str,
+) -> None:
+    """Field-by-field equality of two results (exact, no tolerances)."""
+    pair = f"{base_core} vs {other_core}"
+    if len(base.records) != len(other.records):
+        _fail(scenario, f"{pair}: record counts {len(base.records)} != {len(other.records)}")
+    for ra, rb in zip(base.records, other.records):
+        if ra.job.job_id != rb.job.job_id:
+            _fail(scenario, f"{pair}: record order {ra.job.job_id} != {rb.job.job_id}")
+        for name in _RECORD_FIELDS:
+            va, vb = getattr(ra, name), getattr(rb, name)
+            if va != vb:
+                _fail(
+                    scenario,
+                    f"{pair}: job {ra.job.job_id} field {name}: {va!r} != {vb!r}",
+                )
+    for name in _RESULT_FIELDS:
+        va, vb = getattr(base, name), getattr(other, name)
+        if va != vb:
+            _fail(scenario, f"{pair}: result field {name}: {va!r} != {vb!r}")
+    ta, tb = base.power_trace, other.power_trace
+    if not (
+        np.array_equal(ta.times_s, tb.times_s)
+        and np.array_equal(ta.power_w, tb.power_w)
+    ):
+        _fail(scenario, f"{pair}: power traces differ")
+    for name in _QOS_METRICS:
+        va, vb = getattr(base, name)(), getattr(other, name)()
+        if va != vb and not (np.isnan(va) and np.isnan(vb)):
+            _fail(scenario, f"{pair}: QoS metric {name}: {va!r} != {vb!r}")
+    da, db = result_digest(base), result_digest(other)
+    if da != db:
+        _fail(scenario, f"{pair}: digests {da[:16]}… != {db[:16]}…")
+
+
+def assert_equivalent(seed: int, cores: Sequence[str] = CORES) -> HarnessScenario:
+    """Run one seeded scenario through ``cores`` and demand equality."""
+    scenario = random_scenario(seed)
+    base_core = cores[0]
+    base = run_core(scenario, base_core)
+    for core in cores[1:]:
+        compare_results(scenario, base, base_core, run_core(scenario, core), core)
+    return scenario
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, help="run exactly this scenario seed")
+    parser.add_argument(
+        "--scenarios", type=int, default=50,
+        help="number of seeded scenarios to sweep (default 50)",
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the sweep (default 0)",
+    )
+    parser.add_argument(
+        "--cores", default=",".join(CORES),
+        help="comma-separated core list (default all three)",
+    )
+    args = parser.parse_args(argv)
+    cores = tuple(args.cores.split(","))
+    seeds = [args.seed] if args.seed is not None else list(
+        range(args.base_seed, args.base_seed + args.scenarios)
+    )
+    for seed in seeds:
+        scenario = assert_equivalent(seed, cores)
+        print(f"seed {seed:>5}  OK  {scenario.label}")
+    print(f"{len(seeds)} scenarios, {len(cores)} cores: all equivalent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ merge in submission order, and the campaign digest is the single string
 that certifies all of it.
 """
 
+import dataclasses
+import pickle
+
 import numpy as np
 import pytest
 
@@ -17,6 +20,7 @@ from repro.scheduler import (
     NodeOutage,
     Scenario,
     campaign_digest,
+    merge_results,
     result_digest,
     run_campaign,
     run_scenario,
@@ -78,13 +82,33 @@ class TestDeterminism:
 
 class TestScenarioSemantics:
     def test_reference_core_same_digest(self):
-        """Both simulator cores produce the same campaign digest — the
+        """All simulator cores produce the same campaign digest — the
         equivalence contract, certified through the digest path."""
         fast = run_scenario(CONFIG, Scenario(policy="easy", cap_w=20e3))
         ref = run_scenario(
             CONFIG, Scenario(policy="easy", cap_w=20e3, reference=True))
         assert fast.digest == ref.digest
         assert fast.qos == ref.qos
+
+    def test_every_grid_cell_is_core_invariant(self):
+        """The campaign default (array core) matches an explicit
+        calendar-core run at *every* cell of the grid, digests and QoS
+        alike — pool results stay comparable across core choices."""
+        default = run_campaign(CONFIG, GRID, processes=1)
+        calendar = run_campaign(
+            CONFIG,
+            [dataclasses.replace(s, core="calendar") for s in GRID],
+            processes=1,
+        )
+        for a, b in zip(default, calendar):
+            assert a.digest == b.digest
+            assert a.qos == b.qos
+
+    def test_pool_size_invariant_on_explicit_array_core(self):
+        grid = [dataclasses.replace(s, core="array") for s in GRID[:4]]
+        serial = run_campaign(CONFIG, grid, processes=1)
+        pooled = run_campaign(CONFIG, grid, processes=3)
+        assert campaign_digest(serial) == campaign_digest(pooled)
 
     def test_result_digest_detects_changes(self):
         jobs = scenario_workload(CONFIG, Scenario(policy="fifo"))
@@ -114,10 +138,71 @@ class TestScenarioSemantics:
         assert run_campaign(CONFIG, []) == []
 
 
+class TestKeepAndMerge:
+    def test_keep_results_carries_full_results_through_the_pool(self):
+        results = run_campaign(CONFIG, GRID[:3], processes=2, keep_results=True)
+        for r in results:
+            assert r.result is not None
+            assert len(r.result.records) == CONFIG.n_jobs
+            assert result_digest(r.result) == r.digest
+
+    def test_default_drops_result_payload(self):
+        results = run_campaign(CONFIG, GRID[:2], processes=1)
+        assert all(r.result is None for r in results)
+
+    def test_qos_caches_rebuild_after_pickle(self):
+        """Regression: SimulationResult drops its QoS caches on pickle
+        (the pool round-trips every kept result), so a merged shard must
+        serve cache-backed metrics identical to a never-pickled run."""
+        local = run_scenario(CONFIG, GRID[1], keep_result=True)
+        pooled = run_campaign(CONFIG, GRID[:2], processes=2,
+                              keep_results=True)[1]
+        roundtrip = pickle.loads(pickle.dumps(local.result))
+        for metric in ("mean_wait_s", "p95_wait_s", "mean_bounded_slowdown",
+                       "mean_stretch", "cap_violation_fraction"):
+            want = getattr(local.result, metric)()
+            assert getattr(pooled.result, metric)() == want
+            assert getattr(roundtrip, metric)() == want
+
+    def test_merge_results_dedups_and_preserves_order(self):
+        a = run_campaign(CONFIG, GRID[:4], processes=1)
+        b = run_campaign(CONFIG, GRID[2:], processes=1)
+        merged = merge_results(a, b)
+        assert [r.scenario for r in merged] == GRID
+        assert campaign_digest(merged) == campaign_digest(
+            run_campaign(CONFIG, GRID, processes=1))
+
+    def test_merge_results_rejects_conflicting_digests(self):
+        a = run_campaign(CONFIG, GRID[:2], processes=1)
+        conflicting = dataclasses.replace(a[1], digest="0" * 64)
+        with pytest.raises(ValueError, match="conflicting digests"):
+            merge_results(a, [conflicting])
+
+    def test_merge_prefers_kept_payload_over_dropped(self):
+        """Merging a digest-identical pair keeps the copy that still
+        carries its SimulationResult payload."""
+        bare = run_campaign(CONFIG, GRID[:2], processes=1)
+        kept = run_campaign(CONFIG, GRID[:2], processes=1, keep_results=True)
+        merged = merge_results(bare, kept)
+        assert len(merged) == 2
+        assert all(r.result is not None for r in merged)
+
+
 class TestValidation:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown policy"):
             Scenario(policy="sjf")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="unknown core"):
+            Scenario(policy="fifo", core="gpu")
+
+    def test_reference_flag_conflicts_with_other_core(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            Scenario(policy="fifo", reference=True, core="array")
+        # reference=True with core="reference" (or unset) is fine.
+        Scenario(policy="fifo", reference=True, core="reference")
+        Scenario(policy="fifo", reference=True)
 
     def test_unknown_predictor_rejected(self):
         with pytest.raises(ValueError, match="unknown predictor"):

@@ -1,14 +1,18 @@
-"""Equivalence contract between the two simulator cores, the accumulated
+"""Equivalence contract between the three simulator cores, the accumulated
 stretch metric, and combined reactive-cap + node-outage behaviour.
 
-DESIGN.md §9: the event-calendar core (the default) and the naive
-reference loop (``reference=True``) share the segment arithmetic
+DESIGN.md §9–10: the event-calendar core, the structure-of-arrays core
+(``core="array"``) and the naive reference loop (``reference=True``)
+share the segment arithmetic
 (`_settle`/`_set_speed`/`_PowerLedger`/`_resolve_ledger`), so at equal
 seeds they must produce **float-identical** results — not approximately
 equal.  These tests pin that contract across policies, caps and fault
 injection, because any accidental divergence (a reordered float sum, a
 recomputed-instead-of-stored ETA) silently invalidates every benchmark
-comparison between the two cores.
+comparison between the cores.  The broad seeded sweep lives in
+``tests/test_array_equivalence.py`` on top of ``tests/diff_harness.py``;
+this file keeps the hand-built scenarios whose expected values are
+derived in closed form.
 """
 
 import numpy as np
@@ -82,8 +86,13 @@ def assert_identical(a, b):
 
 
 def _run_both(jobs, policy_factory, **kw):
-    ref = ClusterSimulator(N_NODES, policy_factory(), reference=True, **kw).run(jobs)
-    fast = ClusterSimulator(N_NODES, policy_factory(), reference=False, **kw).run(jobs)
+    """Reference vs calendar, with the array core pinned to the calendar
+    core as a side effect — every scenario in this file exercises all
+    three backends."""
+    ref = ClusterSimulator(N_NODES, policy_factory(), core="reference", **kw).run(jobs)
+    fast = ClusterSimulator(N_NODES, policy_factory(), core="calendar", **kw).run(jobs)
+    arr = ClusterSimulator(N_NODES, policy_factory(), core="array", **kw).run(jobs)
+    assert_identical(fast, arr)
     return ref, fast
 
 
@@ -209,13 +218,14 @@ class TestCapWithOutages:
         assert result.overdemand_s == pytest.approx(both_running)
 
     def test_equivalence_under_combined_stress(self):
-        ref = ClusterSimulator(
-            N_NODES, EasyBackfillScheduler(), cap_w=48e3,
-            node_outages=OUTAGES, reference=True).run(_workload(5))
-        fast = ClusterSimulator(
-            N_NODES, EasyBackfillScheduler(), cap_w=48e3,
-            node_outages=OUTAGES, reference=False).run(_workload(5))
-        assert_identical(ref, fast)
+        results = [
+            ClusterSimulator(
+                N_NODES, EasyBackfillScheduler(), cap_w=48e3,
+                node_outages=OUTAGES, core=core).run(_workload(5))
+            for core in ("reference", "calendar", "array")
+        ]
+        assert_identical(results[0], results[1])
+        assert_identical(results[0], results[2])
 
 
 class TestBatchPrediction:
