@@ -113,8 +113,13 @@ def test_e07a_predictor_quality_ablation(benchmark, table):
     assert runs["trained ridge"].mean_wait_s() <= runs["nameplate (2 kW/node)"].mean_wait_s()
 
 
-def _campaign_three_way(seeds=(0, 1, 2)):
-    """The A3 comparison across seeds via the parallel campaign runner."""
+def campaign_grid(seeds=(0, 1, 2)):
+    """The E07b campaign cells: (config, grid) for the A3 three-way sweep.
+
+    Shared with ``tests/diff_harness.py --bench-grids``, which proves a
+    warm rerun of this exact grid against a seeded cache simulates 0
+    cells.
+    """
     config = CampaignConfig(
         n_nodes=N_NODES, n_jobs=120, root_seed=7, load_factor=1.15
     )
@@ -128,7 +133,12 @@ def _campaign_three_way(seeds=(0, 1, 2)):
             ("combined", "power-aware", BUDGET_W, BUDGET_W),
         ]
     ]
-    return run_campaign(config, grid)
+    return config, grid
+
+
+def _campaign_three_way(seeds=(0, 1, 2)):
+    """The A3 comparison across seeds via the parallel campaign runner."""
+    return run_campaign(*campaign_grid(seeds))
 
 
 def test_e07b_campaign_three_way_multiseed(benchmark, table):

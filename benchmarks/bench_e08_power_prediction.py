@@ -74,12 +74,11 @@ def test_e08_power_prediction(benchmark, table):
     assert scores["nameplate"].bias_w > 200.0
 
 
-def _dispatch_quality_campaign(seeds=(0, 1)):
-    """Downstream view of E08: predictor quality as *scheduler* QoS.
+def campaign_grid(seeds=(0, 1)):
+    """The E08a campaign cells: (config, grid) for the predictor sweep.
 
-    Each cell trains (where applicable) on the chronological head 40% of
-    its seed's workload and dispatches the held-out tail under the same
-    envelope — the campaign-runner version of E07a, over multiple seeds.
+    Shared with ``tests/diff_harness.py --bench-grids`` (warm rerun must
+    simulate 0 cells).
     """
     config = CampaignConfig(n_nodes=45, n_jobs=220, root_seed=3, load_factor=1.15)
     budget = 52e3
@@ -91,7 +90,17 @@ def _dispatch_quality_campaign(seeds=(0, 1)):
                             ("trained ridge", "ridge"),
                             ("nameplate (2 kW/node)", "nameplate:2000")]
     ]
-    return run_campaign(config, grid)
+    return config, grid
+
+
+def _dispatch_quality_campaign(seeds=(0, 1)):
+    """Downstream view of E08: predictor quality as *scheduler* QoS.
+
+    Each cell trains (where applicable) on the chronological head 40% of
+    its seed's workload and dispatches the held-out tail under the same
+    envelope — the campaign-runner version of E07a, over multiple seeds.
+    """
+    return run_campaign(*campaign_grid(seeds))
 
 
 def test_e08a_dispatch_quality_campaign(benchmark, table):

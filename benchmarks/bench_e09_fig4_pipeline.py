@@ -71,10 +71,12 @@ def test_e09_fig4_pipeline(benchmark, table):
     assert late.poll() is not None
 
 
-def _budget_grid_campaign():
-    """The knob-sweep view of Fig. 4: one combined proactive+reactive
-    cell per candidate envelope, same 12-node rack and workload shape as
-    the pipeline test, fanned through the campaign runner."""
+def campaign_grid():
+    """The E09a campaign cells: (config, grid) for the envelope sweep.
+
+    Shared with ``tests/diff_harness.py --bench-grids`` (warm rerun must
+    simulate 0 cells).
+    """
     config = CampaignConfig(n_nodes=12, n_jobs=80, root_seed=9, load_factor=1.1)
     budgets = (14e3, BUDGET_W, 24e3)
     grid = [
@@ -82,6 +84,15 @@ def _budget_grid_campaign():
                  label=f"{b / 1e3:.0f} kW")
         for b in budgets
     ]
+    return config, grid
+
+
+def _budget_grid_campaign():
+    """The knob-sweep view of Fig. 4: one combined proactive+reactive
+    cell per candidate envelope, same 12-node rack and workload shape as
+    the pipeline test, fanned through the campaign runner."""
+    config, grid = campaign_grid()
+    budgets = tuple(s.cap_w for s in grid)
     return budgets, run_campaign(config, grid)
 
 

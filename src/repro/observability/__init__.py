@@ -176,6 +176,14 @@ class Observability:
                 "failsafe_engagements": m.total("cap_failsafe_engagements_total"),
                 "violation_seconds": m.total("cap_violation_seconds_total"),
             },
+            "campaign": {
+                "jobs_submitted": m.total("campaign_jobs_submitted_total"),
+                "jobs_completed": m.total("campaign_jobs_completed_total"),
+                "jobs_failed": m.total("campaign_jobs_failed_total"),
+                "cells_completed": m.total("campaign_cells_completed_total"),
+                "cells_simulated": m.total("campaign_cells_simulated_total"),
+                "cells_replayed": m.total("campaign_cells_replayed_total"),
+            },
             "invariants": {
                 "checks": len(invariant_spans),
                 "violations": m.total("invariant_violations_total"),

@@ -1,5 +1,14 @@
 """Resource manager: jobs, workload generation, scheduling policies, simulator."""
 
+from .cache import (
+    CampaignCheckpoint,
+    DirectoryResultStore,
+    MemoryResultStore,
+    ResultStore,
+    config_key,
+    scenario_fingerprint,
+    scenario_key,
+)
 from .campaign import (
     CampaignConfig,
     Scenario,
@@ -7,11 +16,13 @@ from .campaign import (
     campaign_digest,
     merge_results,
     result_digest,
+    resume_campaign,
     run_campaign,
     run_scenario,
     scenario_rng,
     scenario_workload,
 )
+from .service import CampaignJob, CampaignService
 from .job import Job, JobRecord, JobState
 from .policies import (
     EasyBackfillScheduler,
@@ -33,8 +44,14 @@ from .workload import DEFAULT_APP_MIX, AppProfile, WorkloadConfig, WorkloadGener
 
 __all__ = [
     "AppProfile",
+    "CampaignCheckpoint",
     "CampaignConfig",
+    "CampaignJob",
+    "CampaignService",
     "ClusterSimulator",
+    "DirectoryResultStore",
+    "MemoryResultStore",
+    "ResultStore",
     "DEFAULT_APP_MIX",
     "EasyBackfillScheduler",
     "FairShareState",
@@ -59,13 +76,17 @@ __all__ = [
     "WorkloadConfig",
     "WorkloadGenerator",
     "campaign_digest",
+    "config_key",
     "day_night_budget",
     "heat_wave_budget",
     "merge_results",
     "request_based_predictor",
     "result_digest",
+    "resume_campaign",
     "run_campaign",
     "run_scenario",
+    "scenario_fingerprint",
+    "scenario_key",
     "scenario_rng",
     "scenario_workload",
 ]

@@ -1,0 +1,573 @@
+"""Content-addressed result cache and checkpointing for campaign grids.
+
+The campaign runner already certifies every cell with a SHA-256
+``result_digest``; this module turns those digests into a service-grade
+memo table.  Three pieces:
+
+* :func:`scenario_key` — a canonical digest of *what a cell computes*
+  (machine shape, workload stream, policy/predictor spec, cap, core,
+  outages).  Two specs that would run the identical simulation map to
+  the identical key even when they are spelled differently —
+  ``budget_w=None`` with a cap vs the budget written out,
+  ``"nameplate"`` vs ``"nameplate:2000.0"``, ``reference=True`` vs
+  ``core="reference"`` — and cosmetic fields (``label``) are excluded.
+  The derivation is pure data (sorted-key canonical JSON → SHA-256):
+  no ``repr``, no ``id()``, no interpreter hash seed, so keys are
+  stable across field reordering, processes, and runs.
+
+* :class:`ResultStore` — a content-addressed map from scenario key to
+  :class:`~repro.scheduler.campaign.ScenarioResult`, with an in-memory
+  backend (:class:`MemoryResultStore`) and an on-disk one
+  (:class:`DirectoryResultStore`: canonical JSON for the spec/QoS/digest
+  plus an NPZ sidecar that round-trips the full
+  :class:`~repro.scheduler.simulate.SimulationResult` field-by-field).
+  ``run_campaign(..., cache=store)`` simulates only novel cells and
+  replays hits byte-identical to a cold run — pinned by the cache mode
+  of ``tests/diff_harness.py``.
+
+* :class:`CampaignCheckpoint` — durable campaign progress: a manifest
+  binding the (config, grid) identity plus one store entry per
+  completed cell, written *after every completed cell* with
+  atomic-rename file ordering (payload first, then the JSON marker), so
+  a kill at any instant leaves only fully-valid cells behind and
+  :func:`~repro.scheduler.campaign.resume_campaign` reproduces the
+  uninterrupted ``campaign_digest`` exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..power.trace import PowerTrace
+from .job import Job, JobRecord, JobState
+from .simulate import NodeOutage, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .campaign import CampaignConfig, Scenario, ScenarioResult
+
+__all__ = [
+    "KEY_VERSION",
+    "scenario_key",
+    "scenario_fingerprint",
+    "config_key",
+    "ResultStore",
+    "MemoryResultStore",
+    "DirectoryResultStore",
+    "CampaignCheckpoint",
+]
+
+#: Bump when the key derivation changes — old store entries then miss
+#: instead of silently serving results computed under different rules.
+KEY_VERSION = 1
+
+#: Default arguments the spec grammar fills in when the ``:<arg>`` part
+#: is omitted (must match ``campaign._build_predictor``).
+_PREDICTOR_DEFAULTS = {"nameplate": 2000.0, "ridge": 1.0}
+
+
+# --------------------------------------------------------------------------
+# key derivation
+# --------------------------------------------------------------------------
+
+def _canonical_predictor(spec: str) -> dict[str, Any]:
+    """Parse a predictor spec to (kind, effective argument).
+
+    Default-equivalent spellings collapse: ``"nameplate"``,
+    ``"nameplate:2000"`` and ``"nameplate:2000.0"`` all mean the 2 kW
+    nameplate predictor and must share a key.
+    """
+    kind, _, arg = str(spec).partition(":")
+    if kind == "oracle":
+        return {"kind": "oracle"}
+    return {"kind": kind, "arg": float(arg) if arg else _PREDICTOR_DEFAULTS[kind]}
+
+
+def _canonical_scenario(scenario: "Scenario") -> dict[str, Any]:
+    """The semantic content of one cell, independent of its spelling.
+
+    Reads attributes by name (never ``dataclasses.fields`` order), so
+    the digest is invariant under field reordering; normalizes every
+    default-equivalent spelling to one form; and drops fields that do
+    not change the simulation (``label``; ``budget_w``/``predictor``
+    for policies that never read them).
+    """
+    policy = str(scenario.policy)
+    cap = scenario.cap_w
+    core = scenario.core
+    if core is None:
+        core = "reference" if scenario.reference else "array"
+    entry: dict[str, Any] = {
+        "policy": policy,
+        "seed_index": int(scenario.seed_index),
+        "cap_w": None if cap is None else float(cap),
+        "train_fraction": float(scenario.train_fraction),
+        "core": core,
+        "outages": [
+            [float(o.at_s), int(o.node_id), float(o.duration_s)]
+            for o in scenario.node_outages
+        ],
+    }
+    if policy == "power-aware":
+        budget = scenario.budget_w if scenario.budget_w is not None else cap
+        entry["budget_w"] = None if budget is None else float(budget)
+        entry["predictor"] = _canonical_predictor(scenario.predictor)
+    else:
+        # FIFO/EASY never read the budget or the predictor: normalize
+        # them away so stray spellings cannot split the cache.
+        entry["budget_w"] = None
+        entry["predictor"] = None
+    return entry
+
+
+def _canonical_config(config: "CampaignConfig") -> dict[str, Any]:
+    return {
+        "n_nodes": int(config.n_nodes),
+        "n_jobs": int(config.n_jobs),
+        "root_seed": int(config.root_seed),
+        "load_factor": float(config.load_factor),
+        "idle_node_power_w": float(config.idle_node_power_w),
+        "speed_exponent": float(config.speed_exponent),
+        "min_speed": float(config.min_speed),
+    }
+
+
+def _digest_of(payload: dict[str, Any]) -> str:
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def scenario_fingerprint(scenario: "Scenario") -> str:
+    """Canonical digest of one scenario spec, config excluded.
+
+    The dedup key for :func:`~repro.scheduler.campaign.merge_results`:
+    shards of one campaign share a config by construction, so the
+    scenario part alone identifies a cell within it.
+    """
+    return _digest_of({"v": KEY_VERSION, "scenario": _canonical_scenario(scenario)})
+
+
+def config_key(config: "CampaignConfig") -> str:
+    """Canonical digest of the campaign-wide machine/workload shape."""
+    return _digest_of({"v": KEY_VERSION, "config": _canonical_config(config)})
+
+
+def scenario_key(config: "CampaignConfig", scenario: "Scenario") -> str:
+    """The content address of one campaign cell.
+
+    Covers everything that determines the cell's
+    :class:`SimulationResult` — the full :class:`CampaignConfig`
+    (machine shape, workload stream, root seed) and the canonicalized
+    scenario (policy, cap, budget, predictor, train split, outages,
+    core, seed index) — and nothing that does not (labels).  Equal keys
+    ⇒ byte-identical results; the converse direction (distinct specs ⇒
+    distinct keys) is property-tested in ``tests/test_cache.py``.
+    """
+    return _digest_of({
+        "v": KEY_VERSION,
+        "config": _canonical_config(config),
+        "scenario": _canonical_scenario(scenario),
+    })
+
+
+# --------------------------------------------------------------------------
+# result (de)serialization for the on-disk backend
+# --------------------------------------------------------------------------
+
+def _scenario_to_dict(scenario: "Scenario") -> dict[str, Any]:
+    """The literal (non-canonicalized) spec, for faithful reconstruction."""
+    return {
+        "policy": scenario.policy,
+        "cap_w": scenario.cap_w,
+        "seed_index": scenario.seed_index,
+        "budget_w": scenario.budget_w,
+        "predictor": scenario.predictor,
+        "train_fraction": scenario.train_fraction,
+        "node_outages": [
+            [o.at_s, o.node_id, o.duration_s] for o in scenario.node_outages
+        ],
+        "reference": scenario.reference,
+        "core": scenario.core,
+        "label": scenario.label,
+    }
+
+
+def _scenario_from_dict(data: dict[str, Any]) -> "Scenario":
+    from .campaign import Scenario
+
+    fields = dict(data)
+    fields["node_outages"] = tuple(
+        NodeOutage(at_s=o[0], node_id=o[1], duration_s=o[2])
+        for o in fields.get("node_outages", [])
+    )
+    return Scenario(**fields)
+
+
+def _str_array(values: list[str]) -> np.ndarray:
+    return np.array(values) if values else np.zeros(0, dtype="U1")
+
+
+def _optional_array(values: list[Optional[float]]) -> tuple[np.ndarray, np.ndarray]:
+    """(values-with-0.0-holes, presence mask) — None survives exactly."""
+    mask = np.array([v is not None for v in values], dtype=bool)
+    filled = np.array([0.0 if v is None else float(v) for v in values], dtype=float)
+    return filled, mask
+
+
+def _result_to_arrays(result: SimulationResult) -> dict[str, np.ndarray]:
+    """Flatten a SimulationResult into named arrays (NPZ-safe dtypes).
+
+    Every Job and JobRecord field is carried — including ones outside
+    the digest, like ``predicted_power_w`` — so a disk round-trip is
+    field-by-field identical, not merely digest-identical.
+    """
+    records = result.records
+    jobs = [r.job for r in records]
+    start, has_start = _optional_array([r.start_time_s for r in records])
+    end, has_end = _optional_array([r.end_time_s for r in records])
+    pred, has_pred = _optional_array([r.predicted_power_w for r in records])
+    nodes_flat: list[int] = []
+    nodes_off = [0]
+    for r in records:
+        nodes_flat.extend(r.nodes)
+        nodes_off.append(len(nodes_flat))
+    return {
+        # -- job submission fields + hidden ground truth --
+        "job_id": np.array([j.job_id for j in jobs], dtype=np.int64),
+        "job_user": _str_array([j.user for j in jobs]),
+        "job_app": _str_array([j.app for j in jobs]),
+        "job_n_nodes": np.array([j.n_nodes for j in jobs], dtype=np.int64),
+        "job_walltime_req_s": np.array([j.walltime_req_s for j in jobs], dtype=float),
+        "job_submit_time_s": np.array([j.submit_time_s for j in jobs], dtype=float),
+        "job_threads": np.array([j.threads_per_rank for j in jobs], dtype=np.int64),
+        "job_uses_gpus": np.array([j.uses_gpus for j in jobs], dtype=bool),
+        "job_true_runtime_s": np.array([j.true_runtime_s for j in jobs], dtype=float),
+        "job_true_power_per_node_w": np.array(
+            [j.true_power_per_node_w for j in jobs], dtype=float),
+        # -- execution record fields --
+        "rec_state": _str_array([r.state.value for r in records]),
+        "rec_start_s": start, "rec_has_start": has_start,
+        "rec_end_s": end, "rec_has_end": has_end,
+        "rec_predicted_w": pred, "rec_has_predicted": has_pred,
+        "rec_energy_j": np.array([r.energy_j for r in records], dtype=float),
+        "rec_stretch": np.array([r.stretch for r in records], dtype=float),
+        "rec_requeues": np.array([r.requeues for r in records], dtype=np.int64),
+        "rec_elapsed_running_s": np.array(
+            [r.elapsed_running_s for r in records], dtype=float),
+        "rec_work_progressed_s": np.array(
+            [r.work_progressed_s for r in records], dtype=float),
+        "rec_nodes_flat": np.array(nodes_flat, dtype=np.int64),
+        "rec_nodes_offsets": np.array(nodes_off, dtype=np.int64),
+        # -- trace + result scalars --
+        "trace_times_s": np.ascontiguousarray(result.power_trace.times_s),
+        "trace_power_w": np.ascontiguousarray(result.power_trace.power_w),
+        "makespan_s": np.float64(result.makespan_s),
+        "total_energy_j": np.float64(result.total_energy_j),
+        "cap_w": np.float64(0.0 if result.cap_w is None else result.cap_w),
+        "has_cap": np.bool_(result.cap_w is not None),
+        "overdemand_s": np.float64(result.overdemand_s),
+        "utilization": np.float64(result.utilization),
+        "n_requeues": np.int64(result.n_requeues),
+    }
+
+
+def _result_from_arrays(data: Any) -> SimulationResult:
+    """Rebuild a SimulationResult from :func:`_result_to_arrays` output."""
+    n = int(data["job_id"].shape[0])
+    records = []
+    off = data["rec_nodes_offsets"]
+    for i in range(n):
+        job = Job(
+            job_id=int(data["job_id"][i]),
+            user=str(data["job_user"][i]),
+            app=str(data["job_app"][i]),
+            n_nodes=int(data["job_n_nodes"][i]),
+            walltime_req_s=float(data["job_walltime_req_s"][i]),
+            submit_time_s=float(data["job_submit_time_s"][i]),
+            threads_per_rank=int(data["job_threads"][i]),
+            uses_gpus=bool(data["job_uses_gpus"][i]),
+            true_runtime_s=float(data["job_true_runtime_s"][i]),
+            true_power_per_node_w=float(data["job_true_power_per_node_w"][i]),
+        )
+        records.append(JobRecord(
+            job=job,
+            state=JobState(str(data["rec_state"][i])),
+            start_time_s=(
+                float(data["rec_start_s"][i]) if data["rec_has_start"][i] else None),
+            end_time_s=(
+                float(data["rec_end_s"][i]) if data["rec_has_end"][i] else None),
+            nodes=tuple(
+                int(x) for x in data["rec_nodes_flat"][int(off[i]):int(off[i + 1])]),
+            energy_j=float(data["rec_energy_j"][i]),
+            predicted_power_w=(
+                float(data["rec_predicted_w"][i])
+                if data["rec_has_predicted"][i] else None),
+            stretch=float(data["rec_stretch"][i]),
+            requeues=int(data["rec_requeues"][i]),
+            elapsed_running_s=float(data["rec_elapsed_running_s"][i]),
+            work_progressed_s=float(data["rec_work_progressed_s"][i]),
+        ))
+    return SimulationResult(
+        records=tuple(records),
+        power_trace=PowerTrace(
+            np.asarray(data["trace_times_s"], dtype=float),
+            np.asarray(data["trace_power_w"], dtype=float),
+        ),
+        makespan_s=float(data["makespan_s"]),
+        total_energy_j=float(data["total_energy_j"]),
+        cap_w=float(data["cap_w"]) if data["has_cap"] else None,
+        overdemand_s=float(data["overdemand_s"]),
+        utilization=float(data["utilization"]),
+        n_requeues=int(data["n_requeues"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# stores
+# --------------------------------------------------------------------------
+
+class ResultStore:
+    """Content-addressed map: scenario key → :class:`ScenarioResult`.
+
+    Subclasses implement ``_load``/``_store``/``keys``; the base class
+    keeps hit/miss accounting.  ``get`` returns ``None`` on a miss —
+    callers decide whether a payload-less hit satisfies them (see
+    ``run_campaign(keep_results=True)``).
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # -- backend hooks ------------------------------------------------------
+    def _load(self, key: str) -> Optional["ScenarioResult"]:
+        raise NotImplementedError
+
+    def _store(self, key: str, cell: "ScenarioResult") -> None:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    # -- public surface -----------------------------------------------------
+    def get(self, key: str) -> Optional["ScenarioResult"]:
+        cell = self._load(key)
+        if cell is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cell
+
+    def put(self, key: str, cell: "ScenarioResult") -> None:
+        """Store ``cell`` under ``key`` (idempotent, upgrade-friendly).
+
+        A payload-less cell never clobbers a stored payload-carrying one
+        for the same key — merging a metrics-only pass over a warmed
+        store must not lose data.
+        """
+        if cell.result is None:
+            existing = self._load(key)
+            if existing is not None and existing.result is not None:
+                if existing.digest != cell.digest:
+                    raise ValueError(
+                        f"conflicting digests for key {key[:16]}…: "
+                        f"{existing.digest[:16]}… vs {cell.digest[:16]}…"
+                    )
+                return
+        self._store(key, cell)
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+
+class MemoryResultStore(ResultStore):
+    """Process-local dict backend — the zero-cost default for services."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cells: dict[str, "ScenarioResult"] = {}
+
+    def _load(self, key: str) -> Optional["ScenarioResult"]:
+        return self._cells.get(key)
+
+    def _store(self, key: str, cell: "ScenarioResult") -> None:
+        self._cells[key] = cell
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._cells))
+
+
+class DirectoryResultStore(ResultStore):
+    """On-disk backend: ``<key>.json`` (spec/QoS/digest) + ``<key>.npz``.
+
+    Writes are crash-safe by ordering: the NPZ payload lands first, the
+    JSON marker last, each via write-to-temp + :func:`os.replace` — an
+    entry whose JSON exists is complete.  ``verify=True`` (default)
+    recomputes the payload digest on every load and refuses corrupted
+    entries loudly.
+    """
+
+    def __init__(self, root: str | os.PathLike, verify: bool = True) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.verify = verify
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _store(self, key: str, cell: "ScenarioResult") -> None:
+        has_payload = cell.result is not None
+        if has_payload:
+            buf = io.BytesIO()
+            np.savez_compressed(buf, **_result_to_arrays(cell.result))
+            self._atomic_write(self._npz_path(key), buf.getvalue())
+        meta = {
+            "v": KEY_VERSION,
+            "scenario": _scenario_to_dict(cell.scenario),
+            "qos": cell.qos,
+            "digest": cell.digest,
+            "payload": has_payload,
+        }
+        self._atomic_write(
+            self._json_path(key),
+            json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8"),
+        )
+
+    def _load(self, key: str) -> Optional["ScenarioResult"]:
+        from .campaign import ScenarioResult, result_digest
+
+        path = self._json_path(key)
+        try:
+            meta = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if meta.get("v") != KEY_VERSION:
+            return None
+        result = None
+        if meta["payload"]:
+            with np.load(self._npz_path(key)) as data:
+                result = _result_from_arrays(data)
+            if self.verify and result_digest(result) != meta["digest"]:
+                raise ValueError(
+                    f"corrupt store entry {key[:16]}…: payload digest does not "
+                    f"match its recorded digest ({path})"
+                )
+        return ScenarioResult(
+            scenario=_scenario_from_dict(meta["scenario"]),
+            qos=dict(meta["qos"]),
+            digest=meta["digest"],
+            result=result,
+        )
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+
+# --------------------------------------------------------------------------
+# checkpointing
+# --------------------------------------------------------------------------
+
+class CampaignCheckpoint:
+    """Durable progress of one campaign: manifest + per-cell store.
+
+    ``run_campaign(..., checkpoint=cp)`` binds the manifest (config key
+    + ordered grid keys) before the first cell and records every
+    completed cell — simulated *and* replayed — as it lands, so a kill
+    at any point leaves a resumable prefix.
+    :func:`~repro.scheduler.campaign.resume_campaign` replays recorded
+    cells and simulates only the remainder; the merged list and its
+    ``campaign_digest`` are identical to an uninterrupted run.
+    """
+
+    def __init__(self, path: str | os.PathLike, verify: bool = True) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.store = DirectoryResultStore(self.path / "cells", verify=verify)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    def has_manifest(self) -> bool:
+        return self.manifest_path.exists()
+
+    def _read_manifest(self) -> Optional[dict[str, Any]]:
+        try:
+            return json.loads(self.manifest_path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def bind(
+        self,
+        config: "CampaignConfig",
+        scenarios: "Sequence[Scenario]",
+        keys: Optional[list[str]] = None,
+    ) -> list[str]:
+        """Create the manifest, or validate an existing one against it.
+
+        A checkpoint is bound to exactly one (config, grid): resuming
+        with a different config, a different grid, or even a reordered
+        grid raises instead of silently mixing campaigns.
+        """
+        if keys is None:
+            keys = [scenario_key(config, s) for s in scenarios]
+        manifest = {
+            "v": KEY_VERSION,
+            "config_key": config_key(config),
+            "grid": keys,
+        }
+        existing = self._read_manifest()
+        if existing is None:
+            DirectoryResultStore._atomic_write(
+                self.manifest_path,
+                json.dumps(manifest, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8"),
+            )
+        elif existing != manifest:
+            raise ValueError(
+                f"checkpoint at {self.path} belongs to a different campaign "
+                "(config or grid mismatch); use a fresh checkpoint directory"
+            )
+        return keys
+
+    def record(self, key: str, cell: "ScenarioResult") -> None:
+        """Persist one completed cell (idempotent: replays are free)."""
+        if key not in self.store:
+            self.store.put(key, cell)
+
+    def completed_keys(self) -> set[str]:
+        return set(self.store.keys())
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -25,15 +25,17 @@ worker from the spec.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
 import struct
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from .cache import CampaignCheckpoint, ResultStore, scenario_fingerprint, scenario_key
 from .job import Job
 from .policies import EasyBackfillScheduler, FifoScheduler, SchedulingPolicy
 from .power_aware import PowerAwareScheduler, request_based_predictor
@@ -48,6 +50,7 @@ __all__ = [
     "scenario_workload",
     "run_scenario",
     "run_campaign",
+    "resume_campaign",
     "merge_results",
     "result_digest",
     "campaign_digest",
@@ -286,34 +289,143 @@ def run_campaign(
     processes: Optional[int] = None,
     start_method: Optional[str] = None,
     keep_results: bool = False,
+    cache: Optional[ResultStore] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    on_result: Optional[Callable[[ScenarioResult, bool], None]] = None,
 ) -> list[ScenarioResult]:
     """Run a scenario grid, results merged in submission order.
 
-    ``processes=None`` uses ``min(len(scenarios), cpu_count)``;
+    ``processes=None`` uses ``min(novel cells, cpu_count)``;
     ``processes<=1`` runs serially in-process (no pool, no pickling).
     The result list is bitwise independent of the pool size — pinned by
     ``tests/test_campaign.py``.  ``keep_results=True`` ships each cell's
     full :class:`SimulationResult` back with it (through the pickle
     boundary when a pool is used, so lazy QoS caches are rebuilt, not
     transferred).
+
+    Content addressing (``tests/diff_harness.py --cache`` pins all of
+    it):
+
+    * ``cache`` — a :class:`~repro.scheduler.cache.ResultStore`; cells
+      whose :func:`~repro.scheduler.cache.scenario_key` is already
+      stored replay from it instead of simulating (byte-identical
+      digests), novel cells are stored after they complete, and
+      duplicate-equivalent cells *within* one grid simulate once.  A
+      stored cell without its full payload does not satisfy
+      ``keep_results=True`` — it is re-simulated and the store entry
+      upgraded in place.
+    * ``checkpoint`` — a :class:`~repro.scheduler.cache.
+      CampaignCheckpoint` bound to this (config, grid); every completed
+      cell is persisted as it lands, and recorded cells replay on the
+      next run (see :func:`resume_campaign`).
+    * ``on_result(cell, replayed)`` — called in submission order as
+      each cell completes, with ``replayed=True`` for cache/checkpoint
+      hits and within-grid duplicates.  Raising from the hook aborts
+      the campaign (the checkpoint keeps the completed prefix).
     """
     scenarios = list(scenarios)
+    if checkpoint is not None:
+        keys = checkpoint.bind(config, scenarios)
+    elif cache is not None:
+        keys = [scenario_key(config, s) for s in scenarios]
+    else:
+        keys = None
     if not scenarios:
         return []
+    n = len(scenarios)
+
+    # Resolve replayable cells up front (checkpoint first: it is the
+    # campaign's own history, the cache may be shared and payload-less).
+    resolved: list[Optional[ScenarioResult]] = [None] * n
+    if keys is not None:
+        for i, s in enumerate(scenarios):
+            hit = None
+            if checkpoint is not None:
+                hit = checkpoint.store.get(keys[i])
+            if hit is None and cache is not None:
+                hit = cache.get(keys[i])
+            if hit is not None and keep_results and hit.result is None:
+                hit = None  # payload required but never stored: re-simulate
+            if hit is not None:
+                resolved[i] = dataclasses.replace(hit, scenario=s)
+
+    # Novel work = first occurrence of each unresolved key; later
+    # duplicates alias the first (content addressing makes them equal).
+    todo: list[int] = []
+    first_at: dict[str, int] = {}
+    for i in range(n):
+        if resolved[i] is not None:
+            continue
+        if keys is not None:
+            if keys[i] in first_at:
+                continue
+            first_at[keys[i]] = i
+        todo.append(i)
+    todo_set = set(todo)
+
+    def consume(fresh: "Iterator[ScenarioResult]") -> list[ScenarioResult]:
+        """Merge cached + fresh cells in submission order, firing hooks."""
+        out: list[ScenarioResult] = []
+        for i, s in enumerate(scenarios):
+            cell = resolved[i]
+            replayed = cell is not None
+            if cell is None:
+                if i in todo_set:
+                    cell = next(fresh)
+                    if cache is not None:
+                        cache.put(keys[i], cell)
+                else:  # duplicate of an earlier cell in this same grid
+                    cell = dataclasses.replace(out[first_at[keys[i]]], scenario=s)
+                    replayed = True
+            out.append(cell)
+            if checkpoint is not None:
+                checkpoint.record(keys[i], cell)
+            if on_result is not None:
+                on_result(cell, replayed)
+        return out
+
+    payloads = [(config, scenarios[i], keep_results) for i in todo]
     if processes is None:
-        processes = min(len(scenarios), os.cpu_count() or 1)
-    if processes <= 1 or len(scenarios) == 1:
-        return [run_scenario(config, s, keep_result=keep_results) for s in scenarios]
+        processes = min(len(payloads), os.cpu_count() or 1)
+    if processes <= 1 or len(payloads) <= 1:
+        # Serial path goes through the module-level run_scenario so test
+        # instrumentation (hit-accounting monkeypatches) sees every call.
+        return consume(run_scenario(*p) for p in payloads)
     if start_method is None:
         start_method = (
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
     ctx = multiprocessing.get_context(start_method)
-    payloads = [(config, s, keep_results) for s in scenarios]
     with ctx.Pool(processes=processes) as pool:
-        # chunksize=1: cells are coarse; keep the order-preserving map
-        # fine-grained so stragglers don't serialize whole chunks.
-        return pool.map(_run_cell, payloads, chunksize=1)
+        # chunksize=1 and imap (not map): cells are coarse, the
+        # order-preserving lazy iterator streams completed cells back in
+        # submission order so checkpoints land as cells finish, and
+        # stragglers don't serialize whole chunks.
+        return consume(pool.imap(_run_cell, payloads, chunksize=1))
+
+
+def resume_campaign(
+    config: CampaignConfig,
+    scenarios: Sequence[Scenario],
+    checkpoint: CampaignCheckpoint,
+    **kwargs,
+) -> list[ScenarioResult]:
+    """Continue an interrupted campaign from its checkpoint.
+
+    Cells the killed run completed replay from the checkpoint store;
+    only the remainder simulates.  The merged list — and therefore
+    :func:`campaign_digest` — is identical to an uninterrupted
+    ``run_campaign`` of the same (config, grid), pinned by
+    ``tests/diff_harness.py --cache`` and the crash-resume fuzz in
+    ``tests/test_campaign_resume.py``.  Raises if the checkpoint was
+    never started or belongs to a different campaign.
+    """
+    if not checkpoint.has_manifest():
+        raise ValueError(
+            f"nothing to resume at {checkpoint.path}: no manifest — start the "
+            "campaign with run_campaign(..., checkpoint=...) first"
+        )
+    return run_campaign(config, scenarios, checkpoint=checkpoint, **kwargs)
 
 
 def merge_results(*result_lists: Sequence[ScenarioResult]) -> list[ScenarioResult]:
@@ -332,12 +444,21 @@ def merge_results(*result_lists: Sequence[ScenarioResult]) -> list[ScenarioResul
     caches were dropped at the shard's pickle boundary, so the merged
     list rebuilds metrics from records on next access instead of
     serving stale cached values.
+
+    Duplicates are recognized by :func:`~repro.scheduler.cache.
+    scenario_fingerprint` — the canonical content key — not by
+    ``repr``: default-equivalent spellings of one cell (``budget_w``
+    omitted vs written out as the cap, ``reference=True`` vs
+    ``core="reference"``, differing ``label``\\ s) collapse correctly
+    instead of silently duplicating the cell.  Shards must come from
+    campaigns sharing one :class:`CampaignConfig`; the fingerprint
+    deliberately excludes it.
     """
     merged: list[ScenarioResult] = []
     seen: dict[str, int] = {}
     for results in result_lists:
         for r in results:
-            key = repr(r.scenario)
+            key = scenario_fingerprint(r.scenario)
             at = seen.get(key)
             if at is None:
                 seen[key] = len(merged)

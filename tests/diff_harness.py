@@ -15,14 +15,33 @@ Use it three ways:
 * pytest: ``tests/test_array_equivalence.py`` parametrizes over seeds;
 * CLI (CI smoke): ``python tests/diff_harness.py --scenarios 50``
   or reproduce one failure with ``python tests/diff_harness.py --seed N``.
+
+**Cache mode** pins the content-addressed campaign cache the same way
+the core sweep pins the simulator backends: every seeded random
+campaign grid runs cold (no cache), then against a cache being seeded,
+then warm (must simulate zero cells), then killed after a random number
+of completed cells and resumed from its checkpoint — and every pair of
+runs must agree field by field: per-cell digests, QoS dicts, full
+record/trace payloads (through the on-disk JSON/NPZ round-trip on odd
+seeds), and the campaign digest.
+
+* library: ``assert_cache_equivalent(seed)`` from any test;
+* pytest: ``tests/test_campaign_cache.py`` parametrizes over seeds;
+* CLI (CI smoke): ``python tests/diff_harness.py --cache 50``, one
+  failure reproduced with ``--cache-seed N``; ``--bench-grids`` warms a
+  cache with the full E07b/E08a/E09a bench campaign grids and proves a
+  warm rerun simulates 0 cells.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
+import math
 import os
 import random
 import sys
+import tempfile
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -32,7 +51,22 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:  # let `python tests/diff_harness.py` work bare
     sys.path.insert(0, _SRC)
 
-from repro.scheduler.campaign import result_digest
+import dataclasses
+
+from repro.scheduler.cache import (
+    CampaignCheckpoint,
+    DirectoryResultStore,
+    MemoryResultStore,
+)
+from repro.scheduler.campaign import (
+    CampaignConfig,
+    Scenario,
+    ScenarioResult,
+    campaign_digest,
+    result_digest,
+    resume_campaign,
+    run_campaign,
+)
 from repro.scheduler.job import Job
 from repro.scheduler.policies import EasyBackfillScheduler, FifoScheduler
 from repro.scheduler.power_aware import PowerAwareScheduler, request_based_predictor
@@ -180,10 +214,11 @@ def run_core(scenario: HarnessScenario, core: str) -> SimulationResult:
     return sim.run(scenario.build_jobs())
 
 
-def _fail(scenario: HarnessScenario, detail: str) -> None:
+def _fail(scenario, detail: str) -> None:
+    hint = getattr(scenario, "repro_hint", "--seed")
     raise AssertionError(
-        f"core divergence in scenario {scenario.label} (seed {scenario.seed}): "
-        f"{detail}\nreproduce with: python tests/diff_harness.py --seed {scenario.seed}"
+        f"divergence in scenario {scenario.label} (seed {scenario.seed}): "
+        f"{detail}\nreproduce with: python tests/diff_harness.py {hint} {scenario.seed}"
     )
 
 
@@ -237,6 +272,219 @@ def assert_equivalent(seed: int, cores: Sequence[str] = CORES) -> HarnessScenari
     return scenario
 
 
+# --------------------------------------------------------------------------
+# cache mode: cold vs warm vs kill-and-resume campaigns
+# --------------------------------------------------------------------------
+
+_CACHE_POLICIES = ("fifo", "easy", "power-aware")
+
+
+@dataclass(frozen=True)
+class CacheScenario:
+    """One random campaign grid draw (reconstructible from its seed)."""
+
+    seed: int
+    label: str
+    config: CampaignConfig
+    grid: tuple[Scenario, ...]
+    kill_after: int
+    #: On-disk store/checkpoint on odd seeds, in-memory on even —
+    #: alternating exercises both backends across any sweep.
+    on_disk: bool
+
+    repro_hint = "--cache-seed"
+
+
+def random_campaign(seed: int) -> CacheScenario:
+    """Deterministically expand ``seed`` into one campaign grid.
+
+    Dimensions: machine shape (4–16 nodes, 12–36 jobs, light to
+    oversubscribed), 3–8 cells across policy × cap × seed-index ×
+    outage, occasional pinned cores and labels — and, with probability
+    ~1/2, one *default-equivalent respelling* of an earlier cell
+    (budget written out vs inherited from the cap, ``core="array"`` vs
+    the default) so within-grid dedup is exercised under content
+    addressing.
+    """
+    rng = random.Random(0xCAC4E ^ (seed * 0x9E3779B1))
+    config = CampaignConfig(
+        n_nodes=rng.choice((4, 8, 16)),
+        n_jobs=rng.randrange(12, 37),
+        root_seed=seed,
+        load_factor=rng.choice((0.5, 0.9, 1.3)),
+    )
+    budget = config.n_nodes * BUDGET_PER_NODE_W
+    grid: list[Scenario] = []
+    for i in range(rng.randrange(3, 9)):
+        policy = rng.choice(_CACHE_POLICIES)
+        cap_fraction = rng.choice((0.6, 0.8, None))
+        if policy == "power-aware" and cap_fraction is None:
+            cap_fraction = 0.7
+        cap_w = None if cap_fraction is None else cap_fraction * budget
+        outages: tuple[NodeOutage, ...] = ()
+        if rng.random() < 0.3:
+            outages = (NodeOutage(
+                at_s=rng.uniform(100.0, 10_000.0),
+                node_id=rng.randrange(config.n_nodes),
+                duration_s=rng.uniform(300.0, 5_000.0),
+            ),)
+        grid.append(Scenario(
+            policy=policy,
+            cap_w=cap_w,
+            seed_index=rng.randrange(3),
+            node_outages=outages,
+            core=rng.choice((None, None, "array", "calendar")),
+            label=f"cell{i}" if rng.random() < 0.5 else "",
+        ))
+    if rng.random() < 0.5:
+        # Respell one cell: identical content, different spelling.
+        donor = rng.choice(grid)
+        grid.append(dataclasses.replace(
+            donor,
+            budget_w=(donor.cap_w if donor.policy == "power-aware"
+                      and donor.budget_w is None else donor.budget_w),
+            core=donor.core if donor.core is not None else "array",
+            label="respelled",
+        ))
+    kill_after = rng.randrange(1, len(grid))
+    label = (f"grid/n{config.n_nodes}/j{config.n_jobs}"
+             f"/cells{len(grid)}/kill{kill_after}")
+    return CacheScenario(
+        seed=seed,
+        label=label,
+        config=config,
+        grid=tuple(grid),
+        kill_after=kill_after,
+        on_disk=bool(seed % 2),
+    )
+
+
+def compare_cells(
+    scenario,
+    base: Sequence[ScenarioResult],
+    base_name: str,
+    other: Sequence[ScenarioResult],
+    other_name: str,
+) -> None:
+    """Field-by-field equality of two campaign result lists (exact)."""
+    pair = f"{base_name} vs {other_name}"
+    if len(base) != len(other):
+        _fail(scenario, f"{pair}: cell counts {len(base)} != {len(other)}")
+    for i, (a, b) in enumerate(zip(base, other)):
+        if a.scenario != b.scenario:
+            _fail(scenario, f"{pair}: cell {i} scenario {a.scenario!r} != {b.scenario!r}")
+        if a.digest != b.digest:
+            _fail(scenario, f"{pair}: cell {i} digests {a.digest[:16]}… != {b.digest[:16]}…")
+        if set(a.qos) != set(b.qos):
+            _fail(scenario, f"{pair}: cell {i} QoS keys differ")
+        for name, va in a.qos.items():
+            vb = b.qos[name]
+            if va != vb and not (
+                isinstance(va, float) and isinstance(vb, float)
+                and math.isnan(va) and math.isnan(vb)
+            ):
+                _fail(scenario, f"{pair}: cell {i} QoS {name}: {va!r} != {vb!r}")
+        if (a.result is None) != (b.result is None):
+            _fail(scenario, f"{pair}: cell {i} payload presence differs")
+        if a.result is not None and b.result is not None:
+            compare_results(scenario, a.result, f"{base_name}[{i}]",
+                            b.result, f"{other_name}[{i}]")
+    da, db = campaign_digest(base), campaign_digest(other)
+    if da != db:
+        _fail(scenario, f"{pair}: campaign digests {da[:16]}… != {db[:16]}…")
+
+
+class _KillSwitch(Exception):
+    """Raised by the harness to kill a campaign mid-run."""
+
+
+def assert_cache_equivalent(seed: int, processes: int = 1) -> CacheScenario:
+    """Cold vs warm vs kill-and-resume equality for one seeded grid."""
+    scenario = random_campaign(seed)
+    config, grid = scenario.config, list(scenario.grid)
+
+    cold = run_campaign(config, grid, processes=processes, keep_results=True)
+
+    with tempfile.TemporaryDirectory(prefix="diff-harness-cache-") as tmp:
+        store = (DirectoryResultStore(os.path.join(tmp, "store"))
+                 if scenario.on_disk else MemoryResultStore())
+
+        # Pass 1 seeds the store; results must equal the cache-less run.
+        flags: list[bool] = []
+        seeding = run_campaign(
+            config, grid, processes=processes, keep_results=True,
+            cache=store, on_result=lambda cell, replayed: flags.append(replayed),
+        )
+        compare_cells(scenario, cold, "cold", seeding, "seeding")
+
+        # Pass 2 is warm: zero simulations, byte-identical replays (the
+        # on-disk backend re-materializes every record from JSON+NPZ).
+        flags.clear()
+        warm = run_campaign(
+            config, grid, processes=processes, keep_results=True,
+            cache=store, on_result=lambda cell, replayed: flags.append(replayed),
+        )
+        if not all(flags):
+            _fail(scenario, f"warm run simulated {flags.count(False)} cells (want 0)")
+        compare_cells(scenario, cold, "cold", warm, "warm")
+
+        # Kill after `kill_after` completed cells, then resume: the
+        # stitched run must reproduce the uninterrupted digest exactly.
+        checkpoint = CampaignCheckpoint(os.path.join(tmp, "checkpoint"))
+        completed: list[ScenarioResult] = []
+
+        def killer(cell: ScenarioResult, replayed: bool) -> None:
+            completed.append(cell)
+            if len(completed) >= scenario.kill_after:
+                raise _KillSwitch
+
+        try:
+            run_campaign(config, grid, processes=processes,
+                         keep_results=True, checkpoint=checkpoint, on_result=killer)
+        except _KillSwitch:
+            pass
+        else:
+            _fail(scenario, "kill switch never fired")
+        if len(checkpoint) < 1:
+            _fail(scenario, "killed run checkpointed no cells")
+        resumed = resume_campaign(config, grid, checkpoint,
+                                  processes=processes, keep_results=True)
+        compare_cells(scenario, cold, "cold", resumed, "resumed")
+    return scenario
+
+
+_BENCH_GRIDS = (
+    ("E07b", "bench_e07_power_capping"),
+    ("E08a", "bench_e08_power_prediction"),
+    ("E09a", "bench_e09_fig4_pipeline"),
+)
+
+
+def check_bench_grids() -> None:
+    """Warm rerun of the full E07b/E08a/E09a grids must simulate 0 cells."""
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks")
+    for name, module_name in _BENCH_GRIDS:
+        path = os.path.join(bench_dir, f"{module_name}.py")
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        config, grid = module.campaign_grid()
+
+        store = MemoryResultStore()
+        cold = run_campaign(config, grid, cache=store)
+        flags: list[bool] = []
+        warm = run_campaign(config, grid, cache=store,
+                            on_result=lambda cell, replayed: flags.append(replayed))
+        simulated = flags.count(False)
+        assert simulated == 0, (
+            f"{name}: warm rerun simulated {simulated} of {len(grid)} cells")
+        assert campaign_digest(cold) == campaign_digest(warm), (
+            f"{name}: warm campaign digest diverged from cold")
+        print(f"{name}: {len(grid)} cells, warm rerun simulated 0  "
+              f"(digest {campaign_digest(warm)[:16]}…)")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, help="run exactly this scenario seed")
@@ -252,7 +500,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--cores", default=",".join(CORES),
         help="comma-separated core list (default all three)",
     )
+    parser.add_argument(
+        "--cache", type=int, default=0, metavar="N",
+        help="cache mode: sweep N seeded campaign grids through "
+             "cold/warm/kill-and-resume equality (skips the core sweep)",
+    )
+    parser.add_argument(
+        "--cache-seed", type=int,
+        help="cache mode: run exactly this campaign-grid seed",
+    )
+    parser.add_argument(
+        "--bench-grids", action="store_true",
+        help="prove a warm rerun of the full E07b/E08a/E09a bench "
+             "campaign grids simulates 0 cells",
+    )
     args = parser.parse_args(argv)
+    cache_mode = args.cache > 0 or args.cache_seed is not None or args.bench_grids
+    if cache_mode:
+        cache_seeds = (
+            [args.cache_seed] if args.cache_seed is not None
+            else list(range(args.base_seed, args.base_seed + args.cache))
+        )
+        for seed in cache_seeds:
+            scenario = assert_cache_equivalent(seed)
+            backend = "disk" if scenario.on_disk else "memory"
+            print(f"cache seed {seed:>5}  OK  {scenario.label} [{backend}]")
+        if cache_seeds:
+            print(f"{len(cache_seeds)} campaign grids: cold, warm and "
+                  "kill-and-resume all byte-identical")
+        if args.bench_grids:
+            check_bench_grids()
+        return 0
     cores = tuple(args.cores.split(","))
     seeds = [args.seed] if args.seed is not None else list(
         range(args.base_seed, args.base_seed + args.scenarios)

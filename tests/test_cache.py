@@ -1,0 +1,349 @@
+"""Property tests for the content-addressed campaign cache.
+
+DESIGN.md §11: ``scenario_key`` is a *semantic* digest — equal exactly
+when two (config, scenario) specs would run the identical simulation.
+Three families of properties pin it:
+
+1. **Stability** — invariant under dataclass field reordering,
+   default-equivalent spellings, cosmetic fields, and the interpreter
+   (no ``repr``/``id()``/hash-seed leakage across processes).
+2. **Distinctness** — every semantic knob moves the key, and a
+   randomized 200-cell grid yields 200 distinct keys.
+3. **Stores** — both backends round-trip ``ScenarioResult``\\ s exactly
+   (the on-disk backend field-by-field through JSON+NPZ), account
+   hits/misses, refuse corruption, and never downgrade a
+   payload-carrying entry.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (
+    CampaignCheckpoint,
+    CampaignConfig,
+    DirectoryResultStore,
+    MemoryResultStore,
+    NodeOutage,
+    Scenario,
+    config_key,
+    result_digest,
+    run_scenario,
+    scenario_fingerprint,
+    scenario_key,
+)
+
+CONFIG = CampaignConfig(n_nodes=8, n_jobs=20, root_seed=11, load_factor=1.1)
+CAP = 9e3
+
+
+@dataclass(frozen=True)
+class ReorderedScenario:
+    """Field-for-field clone of Scenario declared in a different order.
+
+    ``scenario_key`` reads attributes by name, never positionally — a
+    reordered (or duck-typed) spec must produce the identical key.
+    """
+
+    label: str = ""
+    core: Optional[str] = None
+    reference: bool = False
+    node_outages: tuple = ()
+    train_fraction: float = 0.0
+    predictor: str = "oracle"
+    budget_w: Optional[float] = None
+    seed_index: int = 0
+    cap_w: Optional[float] = None
+    policy: str = "fifo"
+
+
+class TestKeyStability:
+    def test_stable_across_field_reordering(self):
+        real = Scenario(policy="power-aware", cap_w=CAP, seed_index=2,
+                        predictor="nameplate:1500", train_fraction=0.2)
+        clone = ReorderedScenario(policy="power-aware", cap_w=CAP, seed_index=2,
+                                  predictor="nameplate:1500", train_fraction=0.2)
+        assert scenario_key(CONFIG, real) == scenario_key(CONFIG, clone)
+        assert scenario_fingerprint(real) == scenario_fingerprint(clone)
+
+    def test_budget_default_equivalent_to_cap(self):
+        implicit = Scenario(policy="power-aware", cap_w=CAP)
+        explicit = Scenario(policy="power-aware", cap_w=CAP, budget_w=CAP)
+        assert scenario_key(CONFIG, implicit) == scenario_key(CONFIG, explicit)
+
+    def test_predictor_spec_spellings_collapse(self):
+        keys = {
+            scenario_key(CONFIG, Scenario(policy="power-aware", cap_w=CAP,
+                                          predictor=spec))
+            for spec in ("nameplate", "nameplate:2000", "nameplate:2000.0")
+        }
+        assert len(keys) == 1
+
+    def test_ridge_lambda_spellings_collapse(self):
+        a = Scenario(policy="power-aware", cap_w=CAP,
+                     predictor="ridge", train_fraction=0.4)
+        b = Scenario(policy="power-aware", cap_w=CAP,
+                     predictor="ridge:1.0", train_fraction=0.4)
+        assert scenario_key(CONFIG, a) == scenario_key(CONFIG, b)
+
+    def test_core_spellings_collapse(self):
+        default = Scenario(policy="fifo")
+        explicit = Scenario(policy="fifo", core="array")
+        ref_flag = Scenario(policy="fifo", reference=True)
+        ref_core = Scenario(policy="fifo", core="reference")
+        assert scenario_key(CONFIG, default) == scenario_key(CONFIG, explicit)
+        assert scenario_key(CONFIG, ref_flag) == scenario_key(CONFIG, ref_core)
+
+    def test_label_is_cosmetic(self):
+        a = Scenario(policy="easy", cap_w=CAP, label="")
+        b = Scenario(policy="easy", cap_w=CAP, label="the same cell")
+        assert scenario_key(CONFIG, a) == scenario_key(CONFIG, b)
+
+    def test_unused_knobs_normalized_away_for_non_power_aware(self):
+        """FIFO/EASY never read budget_w or predictor: stray spellings
+        must not split the cache."""
+        plain = Scenario(policy="easy", cap_w=CAP)
+        noisy = Scenario(policy="easy", cap_w=CAP, budget_w=123.0,
+                         predictor="nameplate:999")
+        assert scenario_key(CONFIG, plain) == scenario_key(CONFIG, noisy)
+
+    def test_stable_across_runs_in_this_process(self):
+        s = Scenario(policy="power-aware", cap_w=CAP,
+                     node_outages=(NodeOutage(at_s=50.0, node_id=1,
+                                              duration_s=100.0),))
+        assert scenario_key(CONFIG, s) == scenario_key(
+            CONFIG, dataclasses.replace(s))
+
+    @pytest.mark.parametrize("hash_seed", ["0", "12345"])
+    def test_invariant_across_processes_and_hash_seeds(self, hash_seed):
+        """No id()/hash-seed leakage: a fresh interpreter with a
+        different PYTHONHASHSEED derives the identical key."""
+        code = (
+            "from repro.scheduler import CampaignConfig, Scenario, NodeOutage, "
+            "scenario_key\n"
+            "cfg = CampaignConfig(n_nodes=8, n_jobs=20, root_seed=11, "
+            "load_factor=1.1)\n"
+            "s = Scenario(policy='power-aware', cap_w=9e3, seed_index=3, "
+            "predictor='nameplate:1500', train_fraction=0.25, "
+            "node_outages=(NodeOutage(at_s=50.0, node_id=1, duration_s=100.0),))\n"
+            "print(scenario_key(cfg, s))\n"
+        )
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                   PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        here = scenario_key(CONFIG, Scenario(
+            policy="power-aware", cap_w=CAP, seed_index=3,
+            predictor="nameplate:1500", train_fraction=0.25,
+            node_outages=(NodeOutage(at_s=50.0, node_id=1, duration_s=100.0),)))
+        assert out.stdout.strip() == here
+
+
+class TestKeyDistinctness:
+    @pytest.mark.parametrize("mutate", [
+        dict(policy="easy"),
+        dict(cap_w=CAP * 0.99),
+        dict(cap_w=None, budget_w=CAP),
+        dict(seed_index=1),
+        dict(budget_w=CAP * 0.5),
+        dict(predictor="nameplate"),
+        dict(predictor="ridge", train_fraction=0.4),
+        dict(train_fraction=0.1),
+        dict(core="calendar"),
+        dict(node_outages=(NodeOutage(at_s=10.0, node_id=0, duration_s=60.0),)),
+    ])
+    def test_every_semantic_knob_moves_the_key(self, mutate):
+        base = Scenario(policy="power-aware", cap_w=CAP)
+        assert scenario_key(CONFIG, base) != scenario_key(
+            CONFIG, dataclasses.replace(base, **mutate))
+
+    @pytest.mark.parametrize("mutate", [
+        dict(n_nodes=9), dict(n_jobs=21), dict(root_seed=12),
+        dict(load_factor=1.2), dict(idle_node_power_w=250.0),
+        dict(speed_exponent=0.8), dict(min_speed=0.4),
+    ])
+    def test_every_config_knob_moves_the_key(self, mutate):
+        s = Scenario(policy="fifo")
+        assert scenario_key(CONFIG, s) != scenario_key(
+            dataclasses.replace(CONFIG, **mutate), s)
+        assert config_key(CONFIG) != config_key(
+            dataclasses.replace(CONFIG, **mutate))
+
+    def test_randomized_200_grid_all_distinct(self):
+        """Every pair of cells in a randomized 200-cell sweep keys
+        distinctly (seed_index spreads the grid; random knobs ride
+        along and must never collide two different indices)."""
+        import random
+
+        rng = random.Random(77)
+        keys = set()
+        fingerprints = set()
+        for idx in range(200):
+            s = Scenario(
+                policy=rng.choice(("fifo", "easy", "power-aware")),
+                cap_w=rng.choice((CAP, 0.8 * CAP)),
+                seed_index=idx,
+                train_fraction=rng.choice((0.0, 0.2)),
+            )
+            keys.add(scenario_key(CONFIG, s))
+            fingerprints.add(scenario_fingerprint(s))
+        assert len(keys) == 200
+        assert len(fingerprints) == 200
+
+    def test_outage_order_is_semantic(self):
+        """Outage tuples are not reordered by canonicalization — the
+        key follows the spec as given (conservative: never alias two
+        specs unless the simulation provably cannot differ)."""
+        o1 = NodeOutage(at_s=10.0, node_id=0, duration_s=60.0)
+        o2 = NodeOutage(at_s=20.0, node_id=1, duration_s=60.0)
+        a = Scenario(policy="fifo", node_outages=(o1, o2))
+        b = Scenario(policy="fifo", node_outages=(o2, o1))
+        assert scenario_key(CONFIG, a) != scenario_key(CONFIG, b)
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryResultStore()
+    return DirectoryResultStore(tmp_path / "store")
+
+
+class TestResultStores:
+    def _cell(self, keep=True, scenario=None):
+        scenario = scenario or Scenario(policy="easy", cap_w=CAP, seed_index=1,
+                                        label="stored")
+        return run_scenario(CONFIG, scenario, keep_result=keep)
+
+    def test_miss_then_hit_accounting(self, store):
+        cell = self._cell()
+        key = scenario_key(CONFIG, cell.scenario)
+        assert store.get(key) is None
+        store.put(key, cell)
+        assert store.get(key) is not None
+        assert (store.hits, store.misses) == (1, 1)
+        assert key in store and len(store) == 1
+        assert list(store.keys()) == [key]
+
+    def test_round_trip_metrics_only(self, store):
+        cell = self._cell(keep=False)
+        key = scenario_key(CONFIG, cell.scenario)
+        store.put(key, cell)
+        loaded = store.get(key)
+        assert loaded.digest == cell.digest
+        assert loaded.qos == cell.qos
+        assert loaded.scenario == cell.scenario
+        assert loaded.result is None
+
+    def test_round_trip_full_payload_field_by_field(self, store):
+        cell = self._cell(keep=True)
+        key = scenario_key(CONFIG, cell.scenario)
+        store.put(key, cell)
+        loaded = store.get(key)
+        a, b = cell.result, loaded.result
+        assert result_digest(b) == cell.digest
+        assert len(a.records) == len(b.records)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.job == rb.job
+            for field in ("state", "start_time_s", "end_time_s", "nodes",
+                          "energy_j", "predicted_power_w", "stretch",
+                          "requeues", "elapsed_running_s", "work_progressed_s"):
+                assert getattr(ra, field) == getattr(rb, field), field
+        assert np.array_equal(a.power_trace.times_s, b.power_trace.times_s)
+        assert np.array_equal(a.power_trace.power_w, b.power_trace.power_w)
+        for field in ("makespan_s", "total_energy_j", "cap_w",
+                      "overdemand_s", "utilization", "n_requeues"):
+            assert getattr(a, field) == getattr(b, field), field
+        # Rebuilt results compute QoS from their own records.
+        assert b.mean_wait_s() == a.mean_wait_s()
+
+    def test_payload_round_trips_outages_and_uncapped(self, store):
+        scenario = Scenario(
+            policy="fifo",
+            node_outages=(NodeOutage(at_s=500.0, node_id=2, duration_s=900.0),))
+        cell = self._cell(keep=True, scenario=scenario)
+        key = scenario_key(CONFIG, scenario)
+        store.put(key, cell)
+        loaded = store.get(key)
+        assert loaded.result.cap_w is None
+        assert result_digest(loaded.result) == cell.digest
+        assert loaded.scenario.node_outages == scenario.node_outages
+
+    def test_metrics_only_put_never_downgrades_payload(self, store):
+        cell = self._cell(keep=True)
+        key = scenario_key(CONFIG, cell.scenario)
+        store.put(key, cell)
+        store.put(key, dataclasses.replace(cell, result=None))
+        assert store.get(key).result is not None
+
+    def test_metrics_only_put_with_conflicting_digest_raises(self, store):
+        cell = self._cell(keep=True)
+        key = scenario_key(CONFIG, cell.scenario)
+        store.put(key, cell)
+        bad = dataclasses.replace(cell, result=None, digest="0" * 64)
+        with pytest.raises(ValueError, match="conflicting digests"):
+            store.put(key, bad)
+
+
+class TestDirectoryStore:
+    def test_verify_refuses_tampered_payload(self, tmp_path):
+        store = DirectoryResultStore(tmp_path / "store")
+        cell = run_scenario(CONFIG, Scenario(policy="fifo"), keep_result=True)
+        key = scenario_key(CONFIG, cell.scenario)
+        store.put(key, cell)
+        # Swap in a payload from a different run, keeping the JSON.
+        other = run_scenario(CONFIG, Scenario(policy="easy", cap_w=CAP),
+                             keep_result=True)
+        donor = DirectoryResultStore(tmp_path / "donor")
+        donor.put("k", other)
+        (tmp_path / "store" / f"{key}.npz").write_bytes(
+            (tmp_path / "donor" / "k.npz").read_bytes())
+        with pytest.raises(ValueError, match="corrupt store entry"):
+            store.get(key)
+        # verify=False serves it anyway (caller opted out).
+        assert DirectoryResultStore(tmp_path / "store", verify=False).get(key)
+
+    def test_unreadable_json_is_a_miss(self, tmp_path):
+        store = DirectoryResultStore(tmp_path / "store")
+        (tmp_path / "store" / "deadbeef.json").write_text("{not json")
+        assert store.get("deadbeef") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        cell = run_scenario(CONFIG, Scenario(policy="fifo"), keep_result=False)
+        key = scenario_key(CONFIG, cell.scenario)
+        DirectoryResultStore(tmp_path / "store").put(key, cell)
+        again = DirectoryResultStore(tmp_path / "store")
+        assert again.get(key).digest == cell.digest
+
+
+class TestCheckpoint:
+    def test_bind_creates_then_validates_manifest(self, tmp_path):
+        grid = [Scenario(policy="fifo"), Scenario(policy="easy", cap_w=CAP)]
+        cp = CampaignCheckpoint(tmp_path / "cp")
+        assert not cp.has_manifest()
+        keys = cp.bind(CONFIG, grid)
+        assert cp.has_manifest()
+        assert keys == [scenario_key(CONFIG, s) for s in grid]
+        # Re-binding the same campaign is fine; a different one raises.
+        CampaignCheckpoint(tmp_path / "cp").bind(CONFIG, grid)
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignCheckpoint(tmp_path / "cp").bind(CONFIG, grid[:1])
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignCheckpoint(tmp_path / "cp").bind(
+                dataclasses.replace(CONFIG, root_seed=99), grid)
+
+    def test_record_is_idempotent(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path / "cp")
+        cell = run_scenario(CONFIG, Scenario(policy="fifo"))
+        key = scenario_key(CONFIG, cell.scenario)
+        cp.record(key, cell)
+        cp.record(key, cell)
+        assert len(cp) == 1
+        assert cp.completed_keys() == {key}

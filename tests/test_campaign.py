@@ -178,6 +178,22 @@ class TestKeepAndMerge:
         with pytest.raises(ValueError, match="conflicting digests"):
             merge_results(a, [conflicting])
 
+    def test_merge_dedups_respelled_and_relabeled_scenarios(self):
+        """Regression: merge used to key on ``repr(scenario)``, so a
+        default-equivalent respelling (power-aware ``budget_w=None``
+        falling back to ``cap_w`` vs. spelling the budget out) or a
+        cosmetic label produced duplicate rows.  Keys now come from
+        ``scenario_fingerprint``, which canonicalizes both."""
+        spelled = Scenario(policy="power-aware", cap_w=20e3, budget_w=20e3,
+                           seed_index=1)
+        relabeled = dataclasses.replace(GRID[3], label="same cell, new name")
+        a = run_campaign(CONFIG, [GRID[3]], processes=1)
+        b = run_campaign(CONFIG, [spelled, relabeled], processes=1)
+        merged = merge_results(a, b)
+        assert len(merged) == 1
+        assert merged[0].digest == a[0].digest
+        assert merged[0].scenario == GRID[3]  # first occurrence wins
+
     def test_merge_prefers_kept_payload_over_dropped(self):
         """Merging a digest-identical pair keeps the copy that still
         carries its SimulationResult payload."""

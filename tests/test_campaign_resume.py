@@ -1,0 +1,139 @@
+"""Crash-resume fuzz for checkpointed campaigns.
+
+A campaign killed after an arbitrary number of completed cells and then
+resumed must be indistinguishable from one that never died: same
+``campaign_digest``, same per-cell ``result_digest``s, in the same
+submission order.  The kill is simulated by an ``on_result`` callback
+that raises after N cells — the checkpoint has already recorded cell N
+by then (write-after-every-chunk), which is exactly the durability
+contract being pinned.
+"""
+
+import random
+
+import pytest
+
+from repro.scheduler import (
+    CampaignCheckpoint,
+    CampaignConfig,
+    Scenario,
+    campaign_digest,
+    resume_campaign,
+    run_campaign,
+)
+
+CONFIG = CampaignConfig(n_nodes=8, n_jobs=18, root_seed=7, load_factor=1.1)
+
+# The ISSUE's 3x3x4 fuzz grid: 3 policies x 3 caps x 4 seed indices.
+GRID = [
+    Scenario(policy=policy, cap_w=cap, seed_index=s)
+    for policy in ("fifo", "easy", "power-aware")
+    for cap in (8e3, 10e3, 12e3)
+    for s in range(4)
+]
+
+
+class Killed(Exception):
+    pass
+
+
+def kill_after(n):
+    seen = []
+
+    def hook(cell, replayed):
+        seen.append(cell)
+        if len(seen) >= n:
+            raise Killed
+
+    return hook
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    results = run_campaign(CONFIG, GRID, processes=1)
+    return results, campaign_digest(results)
+
+
+class TestCrashResumeFuzz:
+    @pytest.mark.parametrize("kill_seed", range(10))
+    def test_killed_and_resumed_equals_uninterrupted(
+            self, kill_seed, uninterrupted, tmp_path):
+        baseline, baseline_digest = uninterrupted
+        n = random.Random(kill_seed).randrange(1, len(GRID))
+
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(Killed):
+            run_campaign(CONFIG, GRID, processes=1,
+                         checkpoint=checkpoint, on_result=kill_after(n))
+        assert len(checkpoint) == n  # every completed cell was durable
+
+        resumed = resume_campaign(CONFIG, GRID, checkpoint, processes=1)
+        assert campaign_digest(resumed) == baseline_digest
+        for want, got in zip(baseline, resumed):
+            assert got.digest == want.digest
+            assert got.scenario == want.scenario
+
+    def test_resume_replays_checkpointed_cells(self, tmp_path):
+        n = 5
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(Killed):
+            run_campaign(CONFIG, GRID, processes=1,
+                         checkpoint=checkpoint, on_result=kill_after(n))
+        flags = []
+        resume_campaign(CONFIG, GRID, checkpoint, processes=1,
+                        on_result=lambda cell, replayed: flags.append(replayed))
+        assert flags[:n] == [True] * n
+        assert flags[n:] == [False] * (len(GRID) - n)
+
+    def test_resume_after_complete_simulates_nothing(
+            self, uninterrupted, tmp_path):
+        _, baseline_digest = uninterrupted
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        run_campaign(CONFIG, GRID, processes=1, checkpoint=checkpoint)
+        assert len(checkpoint) == len(GRID)
+        flags = []
+        again = resume_campaign(CONFIG, GRID, checkpoint, processes=1,
+                                on_result=lambda cell, replayed: flags.append(replayed))
+        assert flags == [True] * len(GRID)
+        assert campaign_digest(again) == baseline_digest
+
+    def test_pooled_kill_and_resume(self, uninterrupted, tmp_path):
+        _, baseline_digest = uninterrupted
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(Killed):
+            run_campaign(CONFIG, GRID, processes=2,
+                         checkpoint=checkpoint, on_result=kill_after(7))
+        assert len(checkpoint) >= 7
+        resumed = resume_campaign(CONFIG, GRID, checkpoint, processes=2)
+        assert campaign_digest(resumed) == baseline_digest
+
+
+class TestResumeGuards:
+    def test_resume_without_manifest_raises(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "empty")
+        with pytest.raises(ValueError, match="nothing to resume"):
+            resume_campaign(CONFIG, GRID, checkpoint, processes=1)
+
+    def test_checkpoint_rejects_different_campaign(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(Killed):
+            run_campaign(CONFIG, GRID, processes=1,
+                         checkpoint=checkpoint, on_result=kill_after(3))
+        other = CampaignConfig(n_nodes=8, n_jobs=18, root_seed=8,
+                               load_factor=1.1)
+        with pytest.raises(ValueError, match="different campaign"):
+            resume_campaign(other, GRID, checkpoint, processes=1)
+        with pytest.raises(ValueError, match="different campaign"):
+            resume_campaign(CONFIG, GRID[:-1], checkpoint, processes=1)
+
+    def test_checkpoint_survives_reopen(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(Killed):
+            run_campaign(CONFIG, GRID, processes=1,
+                         checkpoint=checkpoint, on_result=kill_after(4))
+        # A fresh process sees the same durable state through a new handle.
+        reopened = CampaignCheckpoint(tmp_path / "ckpt")
+        assert reopened.has_manifest()
+        assert len(reopened) == 4
+        resumed = resume_campaign(CONFIG, GRID, reopened, processes=1)
+        assert len(resumed) == len(GRID)
