@@ -27,6 +27,7 @@ from . import (
     cooling,
     core,
     energyapi,
+    explore,
     faults,
     hardware,
     monitoring,
@@ -40,6 +41,21 @@ from . import (
     timesync,
 )
 from .cluster import ClusterBuilder, LiveCluster, TelemetryPlane
+
+# The search entry point deliberately shadows the ``repro.explore``
+# module attribute: ``from repro import explore`` hands you the
+# callable, while ``import repro.explore`` / ``from repro.explore
+# import ...`` keep resolving the package through ``sys.modules``.
+from .explore import (  # noqa: F811
+    Categorical,
+    Continuous,
+    DesignSpace,
+    ExplorationEnv,
+    ExplorationTrace,
+    Integer,
+    Objective,
+    explore,
+)
 from .core import CampaignReport, DavideConfig, DavideSystem
 from .faults import DrillConfig, FaultDrill, FaultInjector, FaultKind, FaultSpec
 from .monitoring import MqttBroker
@@ -51,11 +67,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CampaignReport",
+    "Categorical",
     "ClusterBuilder",
+    "Continuous",
     "DavideConfig",
     "DavideSystem",
+    "DesignSpace",
     "DrillConfig",
     "Environment",
+    "ExplorationEnv",
+    "ExplorationTrace",
+    "Integer",
+    "Objective",
     "FaultDrill",
     "FaultInjector",
     "FaultKind",
@@ -75,6 +98,7 @@ __all__ = [
     "cooling",
     "core",
     "energyapi",
+    "explore",
     "faults",
     "hardware",
     "monitoring",

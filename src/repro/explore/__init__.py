@@ -1,0 +1,48 @@
+"""Design-space exploration over the deterministic campaign machinery.
+
+The package turns "which scheduler configuration should D.A.V.I.D.E.
+run?" into a seeded optimization loop:
+
+* :class:`DesignSpace` — named, typed knobs (``cap_w``, ``policy``,
+  ``backfill_depth``, ``dvfs_floor``, ``fairshare_decay``, ...);
+* :class:`Objective` — QoS metrics → scalar/vector fitness;
+* :class:`ExplorationEnv` — gym-style ``reset()/step()/evaluate()``
+  over content-addressed campaign cells with a shared result store;
+* searchers (``random``, ``grid``, ``evolutionary``) behind
+  :data:`~repro.scheduler.registries.SEARCHER_REGISTRY`;
+* :func:`explore` — the one-call driver returning an
+  :class:`ExplorationTrace` whose digest is invariant to pool size and
+  cache state.
+"""
+
+from .env import ExplorationEnv
+from .objective import Objective
+from .run import BATCH_SIZE, explore
+from .searchers import (
+    SEARCHER_REGISTRY,
+    EvolutionarySearcher,
+    GridSearcher,
+    RandomSearcher,
+    Searcher,
+)
+from .space import Categorical, Continuous, DesignSpace, Integer, Knob
+from .trace import ExplorationStep, ExplorationTrace
+
+__all__ = [
+    "DesignSpace",
+    "Continuous",
+    "Integer",
+    "Categorical",
+    "Knob",
+    "Objective",
+    "ExplorationEnv",
+    "ExplorationStep",
+    "ExplorationTrace",
+    "Searcher",
+    "RandomSearcher",
+    "GridSearcher",
+    "EvolutionarySearcher",
+    "SEARCHER_REGISTRY",
+    "explore",
+    "BATCH_SIZE",
+]

@@ -1,0 +1,226 @@
+"""The gym-style exploration environment over the campaign runner.
+
+:class:`ExplorationEnv` turns the deterministic campaign machinery into
+an optimization environment: a knob vector compiles into one
+:class:`~repro.scheduler.campaign.Scenario` cell (policy and friends
+resolved by name through :mod:`repro.scheduler.registries`), batches of
+points dispatch through :func:`~repro.scheduler.campaign.run_campaign`
+with a shared content-addressed
+:class:`~repro.scheduler.cache.ResultStore`, and fitness comes back
+through the :class:`~repro.explore.objective.Objective`.
+
+Because every cell is content-addressed, a searcher revisiting a knob
+vector — or a whole search re-run against a warmed store — replays
+byte-identically and performs **zero** simulations; the environment
+counts those hits per step and on the shared observability handle
+(``ops_report()["exploration"]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from ..observability import Observability, null_observability
+from ..scheduler.cache import MemoryResultStore, ResultStore, scenario_key
+from ..scheduler.campaign import (
+    CampaignConfig,
+    Scenario,
+    ScenarioResult,
+    run_campaign,
+)
+from .objective import Objective
+from .space import DesignSpace
+from .trace import ExplorationStep
+
+__all__ = ["ExplorationEnv"]
+
+#: Scenario fields a knob vector may write.
+_SCENARIO_FIELDS = frozenset(
+    (
+        "policy",
+        "cap_w",
+        "budget_w",
+        "predictor",
+        "train_fraction",
+        "backfill_depth",
+        "dvfs_floor",
+        "fairshare_decay",
+        "seed_index",
+        "core",
+    )
+)
+
+
+class ExplorationEnv:
+    """reset()/step()/evaluate() over content-addressed campaign cells.
+
+    ``base`` carries the fixed scenario fields every compiled cell
+    shares (e.g. ``{"policy": "easy"}`` when policy is not a knob);
+    knobs override it.  ``cache`` defaults to a fresh in-process
+    :class:`MemoryResultStore` — pass a
+    :class:`~repro.scheduler.cache.DirectoryResultStore` to persist the
+    search's simulations across processes and sessions.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objective: Objective,
+        config: CampaignConfig,
+        base: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ResultStore] = None,
+        processes: Optional[int] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self.space = space
+        self.objective = objective
+        self.config = config
+        self.base = dict(base) if base else {}
+        unknown = set(self.base) - _SCENARIO_FIELDS
+        if unknown:
+            raise KeyError(
+                f"unknown base scenario field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(_SCENARIO_FIELDS)}"
+            )
+        bad_knobs = set(space.names()) - _SCENARIO_FIELDS
+        if bad_knobs:
+            raise KeyError(
+                f"knob(s) {sorted(bad_knobs)} do not name scenario fields; "
+                f"allowed: {sorted(_SCENARIO_FIELDS)}"
+            )
+        overlap = set(space.names()) & set(self.base)
+        if overlap:
+            raise KeyError(
+                f"field(s) {sorted(overlap)} appear both as knobs and in "
+                f"base; pick one"
+            )
+        if "policy" not in self.base and "policy" not in space.names():
+            raise ValueError(
+                "every compiled scenario needs a policy: add a 'policy' "
+                "knob to the space or pass base={'policy': ...}"
+            )
+        self.cache = cache if cache is not None else MemoryResultStore()
+        self.processes = processes
+        self.obs = obs if obs is not None else null_observability()
+        m = self.obs.metrics
+        self._m_points = m.counter("explore_points_total")
+        self._m_simulated = m.counter("explore_simulations_total")
+        self._m_hits = m.counter("explore_cache_hits_total")
+        self._m_batches = m.counter("explore_batches_total")
+        self._m_best = m.counter("explore_best_updates_total")
+        self._episode: list[ExplorationStep] = []
+
+    # -- compilation ---------------------------------------------------------
+    def compile(self, point: Mapping[str, Any]) -> Scenario:
+        """Knob vector → scenario cell (clipped, name-resolved, labeled)."""
+        point = self.space.validate(point)
+        fields = dict(self.base)
+        fields.update(point)
+        label = ",".join(f"{k}={point[k]}" for k in sorted(point))
+        return Scenario(label=label, **fields)
+
+    def key(self, point: Mapping[str, Any]) -> str:
+        """The content address the cache files this point's result under."""
+        return scenario_key(self.config, self.compile(point))
+
+    # -- batch evaluation ----------------------------------------------------
+    def evaluate(
+        self,
+        points: Sequence[Mapping[str, Any]],
+        start_index: int = 0,
+    ) -> list[ExplorationStep]:
+        """Evaluate a batch of knob vectors through the campaign pool.
+
+        Points compile to scenario cells and dispatch via
+        :func:`run_campaign` with the environment's shared store:
+        already-stored cells (and within-batch duplicates) replay
+        without simulating, and the returned steps are in submission
+        order regardless of pool size.
+        """
+        if not points:
+            return []
+        scenarios = [self.compile(p) for p in points]
+        replays: list[bool] = []
+        results = run_campaign(
+            self.config,
+            scenarios,
+            processes=self.processes,
+            cache=self.cache,
+            on_result=lambda cell, replayed: replays.append(replayed),
+        )
+        steps = [
+            self._make_step(start_index + i, dict(points[i]), s, r, replays[i])
+            for i, (s, r) in enumerate(zip(scenarios, results))
+        ]
+        self._m_batches.inc()
+        self._m_points.inc(len(steps))
+        hits = sum(1 for s in steps if s.cache_hit)
+        self._m_hits.inc(hits)
+        self._m_simulated.inc(len(steps) - hits)
+        return steps
+
+    def _make_step(
+        self,
+        index: int,
+        point: dict[str, Any],
+        scenario: Scenario,
+        result: ScenarioResult,
+        replayed: bool,
+    ) -> ExplorationStep:
+        return ExplorationStep(
+            index=index,
+            point=self.space.validate(point),
+            key=scenario_key(self.config, scenario),
+            result_digest=result.digest,
+            fitness=self.objective.value(result.qos),
+            vector=self.objective.vector(result.qos),
+            qos=dict(result.qos),
+            cache_hit=replayed,
+        )
+
+    # -- gym-style episode surface ------------------------------------------
+    def reset(self) -> dict[str, Any]:
+        """Start a fresh episode (the store persists; trajectories don't)."""
+        self._episode = []
+        return self.observation()
+
+    def step(
+        self, point: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], float, dict[str, Any]]:
+        """Evaluate one knob vector: ``(observation, fitness, info)``."""
+        prev_best = self._best_fitness()
+        s = self.evaluate([point], start_index=len(self._episode))[0]
+        self._episode.append(s)
+        if prev_best is None or self.objective.better(s.fitness, prev_best):
+            self._m_best.inc()
+        info = {
+            "key": s.key,
+            "result_digest": s.result_digest,
+            "cache_hit": s.cache_hit,
+            "qos": dict(s.qos),
+            "vector": s.vector,
+        }
+        return self.observation(), s.fitness, info
+
+    def _best_fitness(self) -> Optional[float]:
+        best = None
+        for s in self._episode:
+            if best is None or self.objective.better(s.fitness, best):
+                best = s.fitness
+        return best
+
+    def observation(self) -> dict[str, Any]:
+        """What a searcher may look at between steps."""
+        best = None
+        for s in self._episode:
+            if best is None or self.objective.better(s.fitness, best.fitness):
+                best = s
+        return {
+            "t": len(self._episode),
+            "best_fitness": None if best is None else best.fitness,
+            "best_point": None if best is None else dict(best.point),
+            "last_fitness": (
+                self._episode[-1].fitness if self._episode else None
+            ),
+            "cache_hits": sum(1 for s in self._episode if s.cache_hit),
+        }

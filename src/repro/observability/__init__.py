@@ -184,6 +184,13 @@ class Observability:
                 "cells_simulated": m.total("campaign_cells_simulated_total"),
                 "cells_replayed": m.total("campaign_cells_replayed_total"),
             },
+            "exploration": {
+                "points": m.total("explore_points_total"),
+                "simulations": m.total("explore_simulations_total"),
+                "cache_hits": m.total("explore_cache_hits_total"),
+                "batches": m.total("explore_batches_total"),
+                "best_updates": m.total("explore_best_updates_total"),
+            },
             "invariants": {
                 "checks": len(invariant_spans),
                 "violations": m.total("invariant_violations_total"),

@@ -10,6 +10,7 @@ from .cache import (
     scenario_key,
 )
 from .campaign import (
+    QOS_METRICS,
     CampaignConfig,
     Scenario,
     ScenarioResult,
@@ -31,9 +32,23 @@ from .policies import (
     SchedulerContext,
     SchedulingPolicy,
 )
-from .fairshare import FairShareState, MultifactorPriority, PriorityScheduler
+from .fairshare import (
+    EnergyFairShareScheduler,
+    FairShareState,
+    MultifactorPriority,
+    PriorityScheduler,
+)
 from .plugins import LiveNodePower, SchedulerMonitorPlugin
 from .power_aware import PowerAwareScheduler, request_based_predictor
+from .registries import (
+    POLICY_REGISTRY,
+    SEARCHER_REGISTRY,
+    WORKLOAD_REGISTRY,
+    Registry,
+    make_policy,
+    make_searcher,
+    make_workload,
+)
 from .simulate import SIMULATOR_CORES, ClusterSimulator, NodeOutage, SimulationResult
 from .thermal_aware import (
     TimeVaryingBudgetScheduler,
@@ -54,6 +69,7 @@ __all__ = [
     "ResultStore",
     "DEFAULT_APP_MIX",
     "EasyBackfillScheduler",
+    "EnergyFairShareScheduler",
     "FairShareState",
     "FifoScheduler",
     "Job",
@@ -62,9 +78,13 @@ __all__ = [
     "LiveNodePower",
     "MultifactorPriority",
     "NodeOutage",
+    "POLICY_REGISTRY",
     "PriorityScheduler",
     "PowerAwareScheduler",
+    "QOS_METRICS",
     "ReadyView",
+    "Registry",
+    "SEARCHER_REGISTRY",
     "SIMULATOR_CORES",
     "Scenario",
     "ScenarioResult",
@@ -73,12 +93,16 @@ __all__ = [
     "SchedulingPolicy",
     "SimulationResult",
     "TimeVaryingBudgetScheduler",
+    "WORKLOAD_REGISTRY",
     "WorkloadConfig",
     "WorkloadGenerator",
     "campaign_digest",
     "config_key",
     "day_night_budget",
     "heat_wave_budget",
+    "make_policy",
+    "make_searcher",
+    "make_workload",
     "merge_results",
     "request_based_predictor",
     "result_digest",

@@ -90,7 +90,9 @@ def _canonical_predictor(spec: str) -> dict[str, Any]:
     return {"kind": kind, "arg": float(arg) if arg else _PREDICTOR_DEFAULTS[kind]}
 
 
-def _canonical_scenario(scenario: "Scenario") -> dict[str, Any]:
+def _canonical_scenario(
+    scenario: "Scenario", config: "Optional[CampaignConfig]" = None
+) -> dict[str, Any]:
     """The semantic content of one cell, independent of its spelling.
 
     Reads attributes by name (never ``dataclasses.fields`` order), so
@@ -98,6 +100,20 @@ def _canonical_scenario(scenario: "Scenario") -> dict[str, Any]:
     default-equivalent spelling to one form; and drops fields that do
     not change the simulation (``label``; ``budget_w``/``predictor``
     for policies that never read them).
+
+    The explorer knob fields follow one extension rule — **inactive
+    knobs normalize away** (the entry is simply absent), so a scenario
+    that never sets them keeps its pre-knob key and old store entries
+    stay valid without a ``KEY_VERSION`` bump:
+
+    * ``backfill_depth`` is dropped for FIFO (no backfill phase reads
+      it);
+    * ``dvfs_floor`` is dropped when uncapped (the trim never runs, so
+      the floor is dead), and — when ``config`` is available, i.e. in
+      :func:`scenario_key` — when it equals ``config.min_speed``
+      (writing the default out explicitly is the same simulation);
+    * ``fairshare_decay`` is dropped when ``None`` (no priority
+      wrapper).
     """
     policy = str(scenario.policy)
     cap = scenario.cap_w
@@ -124,6 +140,15 @@ def _canonical_scenario(scenario: "Scenario") -> dict[str, Any]:
         # them away so stray spellings cannot split the cache.
         entry["budget_w"] = None
         entry["predictor"] = None
+    depth = scenario.backfill_depth
+    if depth is not None and policy != "fifo":
+        entry["backfill_depth"] = int(depth)
+    floor = scenario.dvfs_floor
+    if floor is not None and cap is not None:
+        if config is None or float(floor) != float(config.min_speed):
+            entry["dvfs_floor"] = float(floor)
+    if scenario.fairshare_decay is not None:
+        entry["fairshare_decay"] = float(scenario.fairshare_decay)
     return entry
 
 
@@ -175,7 +200,7 @@ def scenario_key(config: "CampaignConfig", scenario: "Scenario") -> str:
     return _digest_of({
         "v": KEY_VERSION,
         "config": _canonical_config(config),
-        "scenario": _canonical_scenario(scenario),
+        "scenario": _canonical_scenario(scenario, config),
     })
 
 
@@ -195,6 +220,9 @@ def _scenario_to_dict(scenario: "Scenario") -> dict[str, Any]:
         "node_outages": [
             [o.at_s, o.node_id, o.duration_s] for o in scenario.node_outages
         ],
+        "backfill_depth": scenario.backfill_depth,
+        "dvfs_floor": scenario.dvfs_floor,
+        "fairshare_decay": scenario.fairshare_decay,
         "reference": scenario.reference,
         "core": scenario.core,
         "label": scenario.label,

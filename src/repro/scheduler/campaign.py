@@ -37,8 +37,8 @@ import numpy as np
 
 from .cache import CampaignCheckpoint, ResultStore, scenario_fingerprint, scenario_key
 from .job import Job
-from .policies import EasyBackfillScheduler, FifoScheduler, SchedulingPolicy
-from .power_aware import PowerAwareScheduler, request_based_predictor
+from .policies import SchedulingPolicy
+from .power_aware import request_based_predictor
 from .simulate import ClusterSimulator, NodeOutage, SimulationResult
 from .workload import WorkloadConfig, WorkloadGenerator
 
@@ -46,6 +46,7 @@ __all__ = [
     "Scenario",
     "CampaignConfig",
     "ScenarioResult",
+    "QOS_METRICS",
     "scenario_rng",
     "scenario_workload",
     "run_scenario",
@@ -81,6 +82,16 @@ class Scenario:
     predictor: str = "oracle"
     train_fraction: float = 0.0
     node_outages: tuple[NodeOutage, ...] = ()
+    #: Backfill scan depth behind the blocked head (None = whole queue).
+    #: Read by the backfilling policies only; FIFO ignores it.
+    backfill_depth: Optional[int] = None
+    #: Per-scenario DVFS floor: overrides ``CampaignConfig.min_speed``
+    #: (the slowest speed the reactive trim may throttle a job to).
+    dvfs_floor: Optional[float] = None
+    #: Fairshare half-life in seconds: when set, the policy is wrapped in
+    #: :class:`~repro.scheduler.fairshare.EnergyFairShareScheduler`
+    #: (energy-charged priority ordering).  None = no fairshare layer.
+    fairshare_decay: Optional[float] = None
     reference: bool = False
     #: Simulator backend for this cell (None = campaign default: the
     #: array core, or the reference core when ``reference=True``).  All
@@ -98,6 +109,12 @@ class Scenario:
             raise ValueError(f"reference=True conflicts with core={self.core!r}")
         if not 0.0 <= self.train_fraction < 1.0:
             raise ValueError("train fraction must lie in [0, 1)")
+        if self.backfill_depth is not None and self.backfill_depth < 0:
+            raise ValueError("backfill depth must be non-negative")
+        if self.dvfs_floor is not None and not 0.0 < self.dvfs_floor <= 1.0:
+            raise ValueError("DVFS floor must lie in (0, 1]")
+        if self.fairshare_decay is not None and self.fairshare_decay <= 0.0:
+            raise ValueError("fairshare decay half-life must be positive")
         if self.policy == "power-aware" and self.budget_w is None and self.cap_w is None:
             raise ValueError("power-aware scenarios need budget_w or cap_w")
         kind = self.predictor.split(":", 1)[0]
@@ -181,16 +198,35 @@ def _build_predictor(spec: str, train_jobs: list[Job]):
 
 def _build_policy(config: CampaignConfig, scenario: Scenario,
                   train_jobs: list[Job]) -> SchedulingPolicy:
+    """Compile a scenario's policy spec through the name registry.
+
+    Every cell — hand-written or emitted by the design-space explorer —
+    goes through :func:`~repro.scheduler.registries.make_policy`, so a
+    policy registered by name is immediately sweepable.
+    """
+    from .registries import make_policy
+
     if scenario.policy == "fifo":
-        return FifoScheduler()
-    if scenario.policy == "easy":
-        return EasyBackfillScheduler()
-    budget = scenario.budget_w if scenario.budget_w is not None else scenario.cap_w
-    return PowerAwareScheduler(
-        budget,
-        predictor=_build_predictor(scenario.predictor, train_jobs),
-        idle_node_power_w=config.idle_node_power_w,
-    )
+        policy: SchedulingPolicy = make_policy("fifo")
+    elif scenario.policy == "easy":
+        policy = make_policy("easy", backfill_depth=scenario.backfill_depth)
+    else:
+        budget = scenario.budget_w if scenario.budget_w is not None else scenario.cap_w
+        policy = make_policy(
+            "power-aware",
+            cap_w=budget,
+            predictor=_build_predictor(scenario.predictor, train_jobs),
+            idle_node_power_w=config.idle_node_power_w,
+            backfill_depth=scenario.backfill_depth,
+        )
+    if scenario.fairshare_decay is not None:
+        policy = make_policy(
+            "fairshare",
+            inner=policy,
+            half_life_s=scenario.fairshare_decay,
+            total_nodes=config.n_nodes,
+        )
+    return policy
 
 
 def result_digest(result: SimulationResult) -> str:
@@ -217,6 +253,25 @@ def result_digest(result: SimulationResult) -> str:
     h.update(struct.pack("<ddd", result.makespan_s, result.total_energy_j,
                          result.overdemand_s))
     return h.hexdigest()
+
+
+#: Keys of the per-cell QoS summary (the metric vocabulary objectives
+#: may reference — see :class:`repro.explore.Objective`).
+QOS_METRICS = (
+    "mean_wait_s",
+    "p95_wait_s",
+    "mean_bounded_slowdown",
+    "mean_stretch",
+    "peak_power_w",
+    "mean_power_w",
+    "makespan_s",
+    "total_energy_j",
+    "utilization",
+    "overdemand_s",
+    "cap_violation_fraction",
+    "n_requeues",
+    "n_jobs",
+)
 
 
 def _qos_summary(result: SimulationResult) -> dict[str, float]:
@@ -266,7 +321,10 @@ def run_scenario(
         idle_node_power_w=config.idle_node_power_w,
         cap_w=scenario.cap_w,
         speed_exponent=config.speed_exponent,
-        min_speed=config.min_speed,
+        min_speed=(
+            scenario.dvfs_floor if scenario.dvfs_floor is not None
+            else config.min_speed
+        ),
         node_outages=scenario.node_outages,
         core=core,
     )

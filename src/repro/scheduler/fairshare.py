@@ -28,7 +28,12 @@ from typing import Sequence
 from .job import JobRecord
 from .policies import SchedulerContext, SchedulingPolicy
 
-__all__ = ["FairShareState", "MultifactorPriority", "PriorityScheduler"]
+__all__ = [
+    "FairShareState",
+    "MultifactorPriority",
+    "PriorityScheduler",
+    "EnergyFairShareScheduler",
+]
 
 
 class FairShareState:
@@ -130,3 +135,58 @@ class PriorityScheduler:
             key=lambda rec: (-self.priority.score(rec, ctx.now_s), rec.job.submit_time_s),
         )
         return self.inner.select(ordered, ctx)
+
+
+class EnergyFairShareScheduler(PriorityScheduler):
+    """Self-accounting fairshare: charge completed jobs as they land.
+
+    The campaign/explorer-facing form of the fairshare layer: instead of
+    an external accounting loop feeding :class:`FairShareState`, the
+    policy itself notices completions — it holds a reference to every
+    record it has seen running, and a held record that has left
+    ``ctx.running`` with an ``end_time_s`` is charged (joules by
+    default) at its completion time, in (end time, job id) order.  The
+    charge therefore depends only on the records' final float values,
+    which every simulator core produces identically, never on *when* the
+    policy happened to be consulted.
+
+    ``half_life_s`` is the fairshare decay half-life — the explorer's
+    ``fairshare_decay`` knob: short half-lives forgive energy hogs
+    quickly, long ones keep them deprioritized.
+    """
+
+    def __init__(
+        self,
+        inner: SchedulingPolicy,
+        half_life_s: float = 7 * 86400.0,
+        total_nodes: int = 45,
+        energy_weighted: bool = True,
+    ):
+        super().__init__(
+            inner,
+            MultifactorPriority(
+                fairshare=FairShareState(half_life_s=half_life_s),
+                total_nodes=total_nodes,
+            ),
+        )
+        self.name = f"fairshare+{inner.name}"
+        self.half_life_s = float(half_life_s)
+        self.energy_weighted = energy_weighted
+        self._tracked: dict[int, JobRecord] = {}
+
+    def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
+        """Charge newly finished jobs, then priority-sort and delegate."""
+        running_ids = set()
+        for rec in ctx.running:
+            running_ids.add(rec.job.job_id)
+            self._tracked.setdefault(rec.job.job_id, rec)
+        finished = [
+            rec for jid, rec in self._tracked.items()
+            if jid not in running_ids and rec.end_time_s is not None
+        ]
+        for rec in sorted(finished, key=lambda r: (r.end_time_s, r.job.job_id)):
+            self.priority.fairshare.charge_record(
+                rec, energy_weighted=self.energy_weighted
+            )
+            del self._tracked[rec.job.job_id]
+        return super().select(queue, ctx)

@@ -139,9 +139,20 @@ class EasyBackfillScheduler:
     reservation, OR it does not touch the reserved nodes).  We use the
     node-count form: a backfill candidate must leave enough nodes for the
     head job at reservation time.
+
+    ``backfill_depth`` bounds how far behind the blocked head the
+    hole-filling scan looks (SLURM's ``bf_max_job_test``): only the
+    first ``backfill_depth`` queued jobs after the head are considered,
+    trading schedule quality for decision cost on deep backlogs.
+    ``None`` (the default) scans the whole queue.
     """
 
     name = "easy-backfill"
+
+    def __init__(self, backfill_depth: int | None = None):
+        if backfill_depth is not None and backfill_depth < 0:
+            raise ValueError("backfill depth must be non-negative")
+        self.backfill_depth = backfill_depth
 
     def select(self, queue: Sequence[JobRecord], ctx: SchedulerContext) -> list[JobRecord]:
         """FIFO starts, then backfill behind the head reservation."""
@@ -206,10 +217,13 @@ class EasyBackfillScheduler:
         else:
             # Head can never fit (bigger than the machine) — nothing to do.
             return started
-        # Phase 3: backfill the rest of the queue.
+        # Phase 3: backfill the rest of the queue (bounded by depth).
         shadow_free = free
         spare_at_reservation = nodes_free_at_reservation - head.job.n_nodes
-        for rec in queue[1:]:
+        candidates = queue[1:]
+        if self.backfill_depth is not None:
+            candidates = candidates[: self.backfill_depth]
+        for rec in candidates:
             if rec.job.n_nodes > shadow_free:
                 continue
             finishes_before = ctx.now_s + rec.job.walltime_req_s <= reservation_time

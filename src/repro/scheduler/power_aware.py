@@ -74,6 +74,7 @@ class PowerAwareScheduler:
         predictor: PowerPredictor | None = None,
         idle_node_power_w: float = 300.0,
         headroom_margin: float = 0.03,
+        backfill_depth: Optional[int] = None,
         obs: Optional[Observability] = None,
         **legacy,
     ):
@@ -87,7 +88,10 @@ class PowerAwareScheduler:
             raise ValueError("power budget must be positive")
         if not 0.0 <= headroom_margin < 1.0:
             raise ValueError("headroom margin must lie in [0, 1)")
+        if backfill_depth is not None and backfill_depth < 0:
+            raise ValueError("backfill depth must be non-negative")
         self.cap_w = float(cap_w)
+        self.backfill_depth = backfill_depth
         self.predictor = predictor if predictor is not None else request_based_predictor()
         self.idle_node_power_w = float(idle_node_power_w)
         self.headroom_margin = float(headroom_margin)
@@ -229,7 +233,10 @@ class PowerAwareScheduler:
             # what remains after the head could start.
             backfill_headroom = headroom - marginal_power(head)
         shadow_free = free
-        for rec in queue[1:]:
+        candidates = queue[1:]
+        if self.backfill_depth is not None:
+            candidates = candidates[: self.backfill_depth]
+        for rec in candidates:
             if rec.job.n_nodes > shadow_free:
                 continue
             if marginal_power(rec) > backfill_headroom:

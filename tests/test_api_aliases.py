@@ -112,3 +112,82 @@ class TestTimesyncAliases:
     def test_unknown_kwarg_still_rejected(self):
         with pytest.raises(TypeError, match="unexpected keyword"):
             NtpClient(LocalClock(), pol_interval_s=32.0)
+
+
+class TestExploreAliases:
+    """``explore()`` keeps the legacy ``n_steps``/``rng_seed`` spellings
+    one release behind a DeprecationWarning, like every other facade."""
+
+    @staticmethod
+    def _problem():
+        from repro.explore import Continuous, DesignSpace, Objective
+        from repro.scheduler import CampaignConfig
+
+        space = DesignSpace({"cap_w": Continuous(8_000.0, 16_000.0)})
+        objective = Objective.minimize("total_energy_j")
+        config = CampaignConfig(n_nodes=4, n_jobs=8, root_seed=3,
+                                load_factor=1.1)
+        return space, objective, config
+
+    def test_n_steps_warns_and_maps_to_budget(self):
+        from repro import explore
+        space, objective, config = self._problem()
+        with pytest.warns(DeprecationWarning, match="n_steps.*deprecated.*budget"):
+            trace = explore(space, objective, searcher="random",
+                            n_steps=3, seed=1, config=config,
+                            base={"policy": "easy"})
+        assert trace.budget == 3 and len(trace.steps) == 3
+
+    def test_rng_seed_warns_and_maps_to_seed(self):
+        from repro import explore
+        space, objective, config = self._problem()
+        with pytest.warns(DeprecationWarning, match="rng_seed.*deprecated.*seed"):
+            trace = explore(space, objective, searcher="random",
+                            budget=2, rng_seed=5, config=config,
+                            base={"policy": "easy"})
+        assert trace.seed == 5
+
+    def test_both_spellings_is_an_error(self):
+        from repro import explore
+        space, objective, config = self._problem()
+        with pytest.raises(TypeError, match="both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                explore(space, objective, budget=2, n_steps=3, config=config,
+                        base={"policy": "easy"})
+
+    def test_unknown_kwarg_rejected(self):
+        from repro import explore
+        space, objective, config = self._problem()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            explore(space, objective, budgget=2, config=config,
+                    base={"policy": "easy"})
+
+    def test_canonical_spellings_are_silent(self):
+        from repro import explore
+        space, objective, config = self._problem()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            trace = explore(space, objective, searcher="random", budget=2,
+                            seed=0, config=config, base={"policy": "easy"})
+        assert len(trace.steps) == 2
+
+
+class TestTopLevelExploreSurface:
+    def test_explore_names_reexported(self):
+        import repro
+        for name in ("DesignSpace", "Objective", "ExplorationTrace",
+                     "ExplorationEnv", "Continuous", "Integer",
+                     "Categorical", "explore"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_top_level_explore_is_the_callable(self):
+        # ``from repro import explore`` hands out the entry point, while
+        # the package stays importable through sys.modules.
+        import importlib
+
+        import repro
+        assert callable(repro.explore)
+        module = importlib.import_module("repro.explore")
+        assert module.explore is repro.explore

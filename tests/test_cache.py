@@ -54,6 +54,9 @@ class ReorderedScenario:
     label: str = ""
     core: Optional[str] = None
     reference: bool = False
+    fairshare_decay: Optional[float] = None
+    dvfs_floor: Optional[float] = None
+    backfill_depth: Optional[int] = None
     node_outages: tuple = ()
     train_fraction: float = 0.0
     predictor: str = "oracle"
@@ -113,6 +116,30 @@ class TestKeyStability:
                          predictor="nameplate:999")
         assert scenario_key(CONFIG, plain) == scenario_key(CONFIG, noisy)
 
+    def test_inactive_exploration_knobs_normalize_away(self):
+        """The PR-8 knob fields must not move pre-existing keys: a knob
+        left at its default (or dead for the chosen policy) is absent
+        from the canonical form, so stores written before the fields
+        existed still hit."""
+        plain = Scenario(policy="fifo")
+        assert scenario_key(CONFIG, plain) == scenario_key(
+            CONFIG, dataclasses.replace(plain, backfill_depth=4))
+        uncapped = Scenario(policy="easy")
+        assert scenario_key(CONFIG, uncapped) == scenario_key(
+            CONFIG, dataclasses.replace(uncapped, dvfs_floor=0.5))
+
+    def test_dvfs_floor_at_config_default_is_equivalent(self):
+        """Spelling the config's min_speed explicitly is the same cell."""
+        base = Scenario(policy="easy", cap_w=CAP)
+        spelled = dataclasses.replace(base, dvfs_floor=CONFIG.min_speed)
+        assert scenario_key(CONFIG, base) == scenario_key(CONFIG, spelled)
+
+    def test_backfill_depth_respellings_collapse(self):
+        """int-like spellings of one depth canonicalize identically."""
+        a = Scenario(policy="easy", cap_w=CAP, backfill_depth=8)
+        b = dataclasses.replace(a, backfill_depth=np.int64(8))
+        assert scenario_key(CONFIG, a) == scenario_key(CONFIG, b)
+
     def test_stable_across_runs_in_this_process(self):
         s = Scenario(policy="power-aware", cap_w=CAP,
                      node_outages=(NodeOutage(at_s=50.0, node_id=1,
@@ -159,6 +186,11 @@ class TestKeyDistinctness:
         dict(train_fraction=0.1),
         dict(core="calendar"),
         dict(node_outages=(NodeOutage(at_s=10.0, node_id=0, duration_s=60.0),)),
+        dict(backfill_depth=4),
+        dict(backfill_depth=5),
+        dict(dvfs_floor=0.5),
+        dict(fairshare_decay=86400.0),
+        dict(fairshare_decay=7 * 86400.0),
     ])
     def test_every_semantic_knob_moves_the_key(self, mutate):
         base = Scenario(policy="power-aware", cap_w=CAP)
