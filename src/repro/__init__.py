@@ -35,6 +35,7 @@ from . import (
     observability,
     power,
     prediction,
+    runtime,
     scheduler,
     sim,
     telemetry,
@@ -106,6 +107,7 @@ __all__ = [
     "observability",
     "power",
     "prediction",
+    "runtime",
     "scheduler",
     "sim",
     "telemetry",

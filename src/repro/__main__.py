@@ -1,0 +1,11 @@
+"""``python -m repro`` — the config-driven command line.
+
+See :mod:`repro.runtime.cli` for the subcommands.
+"""
+
+import sys
+
+from .runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ emit a :class:`DeprecationWarning` naming the replacement.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 __all__ = ["rename_kwargs", "reject_unknown_kwargs", "pop_alias"]
 
@@ -47,11 +47,27 @@ def rename_kwargs(
     return kwargs
 
 
-def reject_unknown_kwargs(owner: str, kwargs: dict[str, Any]) -> None:
-    """Raise the usual TypeError for kwargs left over after remapping."""
-    if kwargs:
-        name = next(iter(kwargs))
-        raise TypeError(f"{owner}() got an unexpected keyword argument {name!r}")
+def reject_unknown_kwargs(
+    owner: str, kwargs: dict[str, Any], known: Sequence[str] = ()
+) -> None:
+    """Raise the usual TypeError for kwargs left over after remapping.
+
+    Every leftover name is reported, in sorted order — a call with three
+    typos gets all three back at once instead of one arbitrary pick per
+    retry.  ``known`` optionally names the accepted spellings in the
+    message; the config-file loader routes its unknown-key diagnostics
+    through here so CLI and Python callers read the same error shape.
+    """
+    if not kwargs:
+        return
+    names = ", ".join(repr(name) for name in sorted(kwargs))
+    if len(kwargs) > 1:
+        message = f"{owner}() got unexpected keyword arguments {names}"
+    else:
+        message = f"{owner}() got an unexpected keyword argument {names}"
+    if known:
+        message += f" (known: {', '.join(sorted(known))})"
+    raise TypeError(message)
 
 
 def pop_alias(owner: str, legacy: dict[str, Any], name: str, current: Any) -> Any:

@@ -1,0 +1,69 @@
+"""Config-driven runtime: files in, built artifacts out.
+
+The pieces, in data-flow order:
+
+* :mod:`~repro.runtime.models` — typed config sections
+  (:class:`RuntimeConfig` and friends), strict about key names and
+  registry-backed component names.
+* :mod:`~repro.runtime.loader` — :func:`load` / :func:`loads` for the
+  TOML (stdlib ``tomllib``) and JSON spellings of the same tree.
+* :mod:`~repro.runtime.build` — :func:`build` compiles a config into a
+  :class:`CampaignPlan`, an :class:`ExplorationPlan`, or a built
+  :class:`~repro.cluster.builder.LiveCluster`.
+* :mod:`~repro.runtime.dump` — :func:`dump` writes the canonical form
+  back out (``loads(dump(cfg)) == cfg``).
+* :mod:`~repro.runtime.cli` — the ``python -m repro`` front-end.
+
+A ten-line TOML file is a complete, content-addressed experiment::
+
+    from repro.runtime import build
+    plan = build("examples/scenarios/e07b.toml")
+    results = plan.run()
+"""
+
+from .build import CampaignPlan, ExplorationPlan, build
+from .cli import main
+from .dump import dump
+from .loader import load, loads
+from .models import (
+    CampaignSection,
+    CapSection,
+    CellSpec,
+    ConfigError,
+    ExplorationSection,
+    KnobSpec,
+    LiveSection,
+    MachineSection,
+    ObjectiveSpec,
+    ObservabilitySection,
+    OutageSpec,
+    PolicySection,
+    RuntimeConfig,
+    RuntimeSection,
+    WorkloadSection,
+)
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignSection",
+    "CapSection",
+    "CellSpec",
+    "ConfigError",
+    "ExplorationPlan",
+    "ExplorationSection",
+    "KnobSpec",
+    "LiveSection",
+    "MachineSection",
+    "ObjectiveSpec",
+    "ObservabilitySection",
+    "OutageSpec",
+    "PolicySection",
+    "RuntimeConfig",
+    "RuntimeSection",
+    "WorkloadSection",
+    "build",
+    "dump",
+    "load",
+    "loads",
+    "main",
+]

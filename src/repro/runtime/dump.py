@@ -1,0 +1,106 @@
+"""Write a config back out in canonical form.
+
+``dump()`` is the inverse of the loader: it serializes a
+:class:`~repro.runtime.models.RuntimeConfig` (or a built plan carrying
+one) to TOML or JSON such that ``loads(dump(cfg), fmt) == cfg`` — the
+round-trip fixed point ``tests/test_runtime.py`` pins.  Stdlib
+``tomllib`` is read-only, so the TOML writer lives here; it only has to
+cover the shapes ``RuntimeConfig.to_dict`` emits (scalar keys, nested
+tables, arrays of scalars, arrays of tables), not full TOML.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Mapping
+
+from .models import ConfigError, RuntimeConfig
+
+__all__ = ["dump"]
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _key(name: str) -> str:
+    return name if _BARE_KEY.match(name) else json.dumps(name)
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr() round-trips exactly and is valid TOML (always carries
+        # a '.' or an exponent for finite floats).
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # JSON escapes are a TOML-safe subset
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_scalar(v) for v in value) + "]"
+    raise ConfigError(f"cannot write {type(value).__name__} as TOML")
+
+
+def _is_table_array(value: Any) -> bool:
+    return (isinstance(value, (list, tuple)) and len(value) > 0
+            and all(isinstance(v, Mapping) for v in value))
+
+
+def _emit_table(lines: list[str], path: list[str],
+                table: Mapping[str, Any]) -> None:
+    subtables = []
+    table_arrays = []
+    for name, value in table.items():
+        if isinstance(value, Mapping):
+            subtables.append((name, value))
+        elif _is_table_array(value):
+            table_arrays.append((name, value))
+        else:
+            lines.append(f"{_key(name)} = {_scalar(value)}")
+    for name, value in subtables:
+        child = path + [name]
+        lines.extend(["", f"[{'.'.join(_key(p) for p in child)}]"])
+        _emit_table(lines, child, value)
+    for name, value in table_arrays:
+        child = path + [name]
+        header = f"[[{'.'.join(_key(p) for p in child)}]]"
+        for element in value:
+            lines.extend(["", header])
+            _emit_table(lines, child, element)
+
+
+def _toml(data: Mapping[str, Any]) -> str:
+    lines: list[str] = []
+    for name, value in data.items():
+        if not isinstance(value, Mapping) and not _is_table_array(value):
+            lines.append(f"{_key(name)} = {_scalar(value)}")
+    for name, value in data.items():
+        if isinstance(value, Mapping):
+            lines.extend(["", f"[{_key(name)}]"])
+            _emit_table(lines, [name], value)
+        elif _is_table_array(value):
+            for element in value:
+                lines.extend(["", f"[[{_key(name)}]]"])
+                _emit_table(lines, [name], element)
+    if lines and lines[0] == "":
+        lines = lines[1:]
+    return "\n".join(lines) + "\n"
+
+
+def dump(config: Any, fmt: str = "toml") -> str:
+    """Serialize a config (or a built plan's ``.spec``) canonically."""
+    if not isinstance(config, RuntimeConfig):
+        spec = getattr(config, "spec", None)
+        if not isinstance(spec, RuntimeConfig):
+            raise TypeError(
+                f"dump() takes a RuntimeConfig or a built plan, "
+                f"got {type(config).__name__}"
+            )
+        config = spec
+    data = config.to_dict()
+    if fmt == "toml":
+        return _toml(data)
+    if fmt == "json":
+        return json.dumps(data, indent=2) + "\n"
+    raise ConfigError(f"unknown dump format {fmt!r}; known: ('toml', 'json')")

@@ -1,0 +1,67 @@
+"""Read a runtime config file into a :class:`RuntimeConfig`.
+
+Two spellings of the same tree are accepted: TOML (the native one —
+parsed with stdlib :mod:`tomllib`, so no dependency is added) and JSON
+(for Pythons older than 3.11, where ``tomllib`` does not exist, and for
+machine-written configs).  The format follows the file suffix; string
+input says which grammar it speaks via ``fmt``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .models import ConfigError, RuntimeConfig
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["load", "loads"]
+
+FORMATS = ("toml", "json")
+
+
+def loads(text: str, fmt: str = "toml") -> RuntimeConfig:
+    """Parse config text in the named format and validate it."""
+    if fmt not in FORMATS:
+        raise ConfigError(f"unknown config format {fmt!r}; known: {FORMATS}")
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON: {exc}") from None
+    else:
+        if tomllib is None:
+            raise ConfigError(
+                "TOML configs need Python >= 3.11 (stdlib tomllib); "
+                "use the JSON spelling of the same config instead"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"config root must be a table/object, got {type(data).__name__}"
+        )
+    return RuntimeConfig.from_dict(data)
+
+
+def load(path: Union[str, Path]) -> RuntimeConfig:
+    """Load a ``.toml`` / ``.json`` config file (suffix picks the parser)."""
+    path = Path(path)
+    fmt = "json" if path.suffix.lower() == ".json" else "toml"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"{path}: {exc.strerror or exc}") from None
+    try:
+        return loads(text, fmt=fmt)
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from None
+    except TypeError as exc:  # unknown keys via reject_unknown_kwargs
+        raise TypeError(f"{path}: {exc}") from None

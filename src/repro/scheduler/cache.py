@@ -114,6 +114,14 @@ def _canonical_scenario(
       (writing the default out explicitly is the same simulation);
     * ``fairshare_decay`` is dropped when ``None`` (no priority
       wrapper).
+
+    Outage tuples sort canonically by ``(at_s, node_id, duration_s)``
+    under the same extension rule: the simulator sorts them itself
+    before running (``ClusterSimulator.__init__``), so listing order is
+    spelling, not semantics — two cells whose outages are permutations
+    of each other must share a key.  Already-sorted specs (and every
+    spec with at most one outage) keep their pre-fix keys, so
+    ``KEY_VERSION`` stays 1 and warmed stores keep hitting.
     """
     policy = str(scenario.policy)
     cap = scenario.cap_w
@@ -126,10 +134,10 @@ def _canonical_scenario(
         "cap_w": None if cap is None else float(cap),
         "train_fraction": float(scenario.train_fraction),
         "core": core,
-        "outages": [
+        "outages": sorted(
             [float(o.at_s), int(o.node_id), float(o.duration_s)]
             for o in scenario.node_outages
-        ],
+        ),
     }
     if policy == "power-aware":
         budget = scenario.budget_w if scenario.budget_w is not None else cap
@@ -171,14 +179,25 @@ def _digest_of(payload: dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def scenario_fingerprint(scenario: "Scenario") -> str:
+def scenario_fingerprint(
+    scenario: "Scenario", config: "Optional[CampaignConfig]" = None
+) -> str:
     """Canonical digest of one scenario spec, config excluded.
 
     The dedup key for :func:`~repro.scheduler.campaign.merge_results`:
     shards of one campaign share a config by construction, so the
     scenario part alone identifies a cell within it.
+
+    Passing the shared ``config`` makes the fingerprint agree with
+    :func:`scenario_key` on config-relative defaults — a cell writing
+    ``dvfs_floor == config.min_speed`` out explicitly collapses to the
+    omitted-floor spelling, exactly as the key does.  Without it the
+    config-free path must keep the entry (it cannot know the default),
+    so default-equivalent floor spellings fingerprint apart.
     """
-    return _digest_of({"v": KEY_VERSION, "scenario": _canonical_scenario(scenario)})
+    return _digest_of(
+        {"v": KEY_VERSION, "scenario": _canonical_scenario(scenario, config)}
+    )
 
 
 def config_key(config: "CampaignConfig") -> str:

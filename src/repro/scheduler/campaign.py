@@ -486,7 +486,10 @@ def resume_campaign(
     return run_campaign(config, scenarios, checkpoint=checkpoint, **kwargs)
 
 
-def merge_results(*result_lists: Sequence[ScenarioResult]) -> list[ScenarioResult]:
+def merge_results(
+    *result_lists: Sequence[ScenarioResult],
+    config: Optional[CampaignConfig] = None,
+) -> list[ScenarioResult]:
     """Merge result lists from split campaign runs into one.
 
     Shards of one grid can run on different pools (or different hosts)
@@ -507,16 +510,20 @@ def merge_results(*result_lists: Sequence[ScenarioResult]) -> list[ScenarioResul
     scenario_fingerprint` — the canonical content key — not by
     ``repr``: default-equivalent spellings of one cell (``budget_w``
     omitted vs written out as the cap, ``reference=True`` vs
-    ``core="reference"``, differing ``label``\\ s) collapse correctly
-    instead of silently duplicating the cell.  Shards must come from
-    campaigns sharing one :class:`CampaignConfig`; the fingerprint
-    deliberately excludes it.
+    ``core="reference"``, differing ``label``\\ s, permuted outage
+    tuples) collapse correctly instead of silently duplicating the
+    cell.  Shards must come from campaigns sharing one
+    :class:`CampaignConfig`; the fingerprint deliberately excludes it.
+    Pass that shared config via ``config=`` to also collapse
+    config-relative default spellings — a shard writing ``dvfs_floor ==
+    config.min_speed`` out explicitly against one that omitted it —
+    which the config-free fingerprint cannot recognize on its own.
     """
     merged: list[ScenarioResult] = []
     seen: dict[str, int] = {}
     for results in result_lists:
         for r in results:
-            key = scenario_fingerprint(r.scenario)
+            key = scenario_fingerprint(r.scenario, config)
             at = seen.get(key)
             if at is None:
                 seen[key] = len(merged)

@@ -300,11 +300,14 @@ def random_campaign(seed: int) -> CacheScenario:
 
     Dimensions: machine shape (4–16 nodes, 12–36 jobs, light to
     oversubscribed), 3–8 cells across policy × cap × seed-index ×
-    outage, occasional pinned cores and labels — and, with probability
-    ~1/2, one *default-equivalent respelling* of an earlier cell
-    (budget written out vs inherited from the cap, ``core="array"`` vs
-    the default) so within-grid dedup is exercised under content
-    addressing.
+    outage (up to three outages per cell), occasional pinned cores and
+    labels — and, with probability ~1/2 each, one *default-equivalent
+    respelling* of an earlier cell (budget written out vs inherited
+    from the cap, ``core="array"`` vs the default) and one
+    *reordered-outage twin* (the same outage set listed in a different
+    order) so within-grid dedup is exercised under content addressing:
+    both twins must replay their donor's cell, and their independent
+    cold simulations must be byte-identical to it.
     """
     rng = random.Random(0xCAC4E ^ (seed * 0x9E3779B1))
     config = CampaignConfig(
@@ -323,11 +326,14 @@ def random_campaign(seed: int) -> CacheScenario:
         cap_w = None if cap_fraction is None else cap_fraction * budget
         outages: tuple[NodeOutage, ...] = ()
         if rng.random() < 0.3:
-            outages = (NodeOutage(
-                at_s=rng.uniform(100.0, 10_000.0),
-                node_id=rng.randrange(config.n_nodes),
-                duration_s=rng.uniform(300.0, 5_000.0),
-            ),)
+            outages = tuple(
+                NodeOutage(
+                    at_s=rng.uniform(100.0, 10_000.0),
+                    node_id=rng.randrange(config.n_nodes),
+                    duration_s=rng.uniform(300.0, 5_000.0),
+                )
+                for _ in range(rng.randrange(1, 4))
+            )
         grid.append(Scenario(
             policy=policy,
             cap_w=cap_w,
@@ -345,6 +351,17 @@ def random_campaign(seed: int) -> CacheScenario:
                       and donor.budget_w is None else donor.budget_w),
             core=donor.core if donor.core is not None else "array",
             label="respelled",
+        ))
+    multi_outage = [s for s in grid if len(s.node_outages) >= 2]
+    if multi_outage and rng.random() < 0.5:
+        # Reordered-outage twin: the same outage set, permuted.  Content
+        # addressing must collapse it onto its donor (outage listing
+        # order is spelling, not semantics — the simulator sorts).
+        donor = rng.choice(multi_outage)
+        grid.append(dataclasses.replace(
+            donor,
+            node_outages=tuple(reversed(donor.node_outages)),
+            label="reordered-outages",
         ))
     kill_after = rng.randrange(1, len(grid))
     label = (f"grid/n{config.n_nodes}/j{config.n_jobs}"

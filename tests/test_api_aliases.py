@@ -173,6 +173,45 @@ class TestExploreAliases:
         assert len(trace.steps) == 2
 
 
+class TestRejectUnknownKwargs:
+    """One shared error path for leftover kwargs — and, since the
+    config runtime routes file diagnostics through it, the message must
+    name *every* unknown spelling (sorted), not one arbitrary pick."""
+
+    def test_single_unknown_keeps_the_classic_message(self):
+        from repro.compat import reject_unknown_kwargs
+        with pytest.raises(TypeError,
+                           match="got an unexpected keyword argument 'zap'"):
+            reject_unknown_kwargs("Thing", {"zap": 1})
+
+    def test_all_unknowns_reported_in_sorted_order(self):
+        """Regression: only ``next(iter(kwargs))`` — one arbitrary
+        name — used to be reported when several were left over."""
+        from repro.compat import reject_unknown_kwargs
+        with pytest.raises(
+            TypeError,
+            match=r"unexpected keyword arguments 'alpha', 'beta', 'zeta'",
+        ):
+            reject_unknown_kwargs("Thing", {"zeta": 1, "alpha": 2, "beta": 3})
+
+    def test_known_fields_named_when_provided(self):
+        from repro.compat import reject_unknown_kwargs
+        with pytest.raises(TypeError, match=r"\(known: bar, foo\)"):
+            reject_unknown_kwargs("Section", {"baz": 1}, known=("foo", "bar"))
+
+    def test_empty_kwargs_pass_silently(self):
+        from repro.compat import reject_unknown_kwargs
+        reject_unknown_kwargs("Thing", {}, known=("a",))
+
+    def test_explore_reports_every_unknown_kwarg(self):
+        """The facades inherit the all-names behaviour for free."""
+        from repro import explore
+        space, objective, config = TestExploreAliases._problem()
+        with pytest.raises(TypeError, match=r"'budgget', 'seeed'"):
+            explore(space, objective, budgget=2, seeed=1, config=config,
+                    base={"policy": "easy"})
+
+
 class TestTopLevelExploreSurface:
     def test_explore_names_reexported(self):
         import repro

@@ -140,6 +140,51 @@ class TestKeyStability:
         b = dataclasses.replace(a, backfill_depth=np.int64(8))
         assert scenario_key(CONFIG, a) == scenario_key(CONFIG, b)
 
+    def test_outage_order_is_cosmetic(self):
+        """Permuted outage tuples are one cell: the simulator sorts its
+        outages before running (``ClusterSimulator.__init__``), so two
+        listings of the same set must share ``scenario_key`` *and*
+        ``scenario_fingerprint`` — a reordered twin used to miss a warm
+        store and duplicate through ``merge_results``."""
+        o1 = NodeOutage(at_s=10.0, node_id=0, duration_s=60.0)
+        o2 = NodeOutage(at_s=20.0, node_id=1, duration_s=60.0)
+        o3 = NodeOutage(at_s=20.0, node_id=3, duration_s=90.0)
+        a = Scenario(policy="fifo", node_outages=(o1, o2, o3))
+        b = Scenario(policy="fifo", node_outages=(o3, o1, o2))
+        assert scenario_key(CONFIG, a) == scenario_key(CONFIG, b)
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_sorted_outages_keep_their_key(self):
+        """The canonical form of an already-sorted spec is the spec
+        itself — the sort is a pure refinement (KEY_VERSION stays 1),
+        so entries stored before the fix still hit."""
+        import json as _json
+        from repro.scheduler.cache import _canonical_scenario
+
+        o1 = NodeOutage(at_s=10.0, node_id=0, duration_s=60.0)
+        o2 = NodeOutage(at_s=20.0, node_id=1, duration_s=60.0)
+        entry = _canonical_scenario(
+            Scenario(policy="fifo", node_outages=(o1, o2)), CONFIG)
+        assert entry["outages"] == [[10.0, 0, 60.0], [20.0, 1, 60.0]]
+        # The pre-fix derivation listed outages in spec order; for a
+        # sorted spec both derivations serialize identically.
+        assert _json.dumps(entry["outages"]) == _json.dumps(
+            [[float(o.at_s), int(o.node_id), float(o.duration_s)]
+             for o in (o1, o2)])
+
+    def test_fingerprint_collapses_written_out_floor_with_config(self):
+        """`scenario_key` drops ``dvfs_floor == config.min_speed`` (the
+        default written out); the config-free fingerprint cannot — but
+        handed the shared config it must agree with the key."""
+        base = Scenario(policy="easy", cap_w=CAP)
+        spelled = dataclasses.replace(base, dvfs_floor=CONFIG.min_speed)
+        # Config-free: conservative, keeps the entry, fingerprints apart.
+        assert scenario_fingerprint(base) != scenario_fingerprint(spelled)
+        # Config-threaded: consistent with scenario_key.
+        assert scenario_fingerprint(base, CONFIG) == \
+            scenario_fingerprint(spelled, CONFIG)
+        assert scenario_key(CONFIG, base) == scenario_key(CONFIG, spelled)
+
     def test_stable_across_runs_in_this_process(self):
         s = Scenario(policy="power-aware", cap_w=CAP,
                      node_outages=(NodeOutage(at_s=50.0, node_id=1,
@@ -230,15 +275,17 @@ class TestKeyDistinctness:
         assert len(keys) == 200
         assert len(fingerprints) == 200
 
-    def test_outage_order_is_semantic(self):
-        """Outage tuples are not reordered by canonicalization — the
-        key follows the spec as given (conservative: never alias two
-        specs unless the simulation provably cannot differ)."""
+    def test_outage_sets_are_semantic(self):
+        """Different outage *sets* still key apart — only the listing
+        order is cosmetic, never the outages themselves."""
         o1 = NodeOutage(at_s=10.0, node_id=0, duration_s=60.0)
         o2 = NodeOutage(at_s=20.0, node_id=1, duration_s=60.0)
         a = Scenario(policy="fifo", node_outages=(o1, o2))
-        b = Scenario(policy="fifo", node_outages=(o2, o1))
+        b = Scenario(policy="fifo", node_outages=(o1,))
+        c = Scenario(policy="fifo", node_outages=(
+            o1, NodeOutage(at_s=20.0, node_id=1, duration_s=61.0)))
         assert scenario_key(CONFIG, a) != scenario_key(CONFIG, b)
+        assert scenario_key(CONFIG, a) != scenario_key(CONFIG, c)
 
 
 @pytest.fixture(params=["memory", "disk"])
