@@ -33,8 +33,11 @@ out) and on any digest mismatch between any pair of cores.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -122,8 +125,32 @@ def warmup() -> None:
         run_core(jobs, 16, FifoScheduler, capped=True, core=core)
 
 
+def profile_run(jobs, n_nodes: int, policy_factory, capped: bool, core: str,
+                out_path: Path, top_n: int = 30) -> None:
+    """One profiled (untimed) run; top-``top_n`` by tottime to a file.
+
+    Profiling runs *after* the timed repeats so instrumentation overhead
+    never leaks into the recorded wall times.
+    """
+    sim = ClusterSimulator(
+        n_nodes=n_nodes,
+        policy=policy_factory(),
+        cap_w=BUDGET_PER_NODE_W * n_nodes if capped else None,
+        core=core,
+    )
+    prof = cProfile.Profile()
+    prof.enable()
+    sim.run(jobs)
+    prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("tottime").print_stats(top_n)
+    out_path.write_text(buf.getvalue())
+    print(f"  profile -> {out_path}")
+
+
 def bench_point(n_nodes: int, n_jobs: int, max_ref_jobs: int,
                 max_easy_jobs: int, repeats: int = 1, budget_s: float = 40.0,
+                profile_dir: Path | None = None,
                 ) -> tuple[list[dict], dict[str, dict], dict[str, bool]]:
     """All modes × cores at one sweep point.
 
@@ -168,6 +195,9 @@ def bench_point(n_nodes: int, n_jobs: int, max_ref_jobs: int,
               f"vs calendar {cal['wall_s']:8.2f} s{ref_note} -> "
               f"{mode_speedups['array_vs_calendar']:5.2f}x "
               f"(digests {'EQUAL' if equal else 'DIFFER'})")
+        if profile_dir is not None:
+            profile_run(jobs, n_nodes, policy_factory, capped, "array",
+                        profile_dir / f"PROFILE_{n_nodes}x{n_jobs}_{mode}_array.txt")
     return runs, speedups, digests_equal
 
 
@@ -189,30 +219,56 @@ def bench_campaign(processes: int) -> dict:
     pooled_s = time.perf_counter() - t0
     equal = campaign_digest(serial) == campaign_digest(pooled)
     speedup = serial_s / pooled_s
+    cpu_count = os.cpu_count() or 1
+    # A process pool cannot beat serial on a single CPU: the measurement
+    # is still recorded (digest equality must hold regardless), but it is
+    # marked untrusted so regression gates never flag single-CPU boxes.
+    trusted = cpu_count >= 2 and processes >= 2
+    note = "" if trusted else " [untrusted: <2 CPUs]"
     print(f"campaign ({len(grid)} cells): serial {serial_s:.2f} s vs "
           f"pool({processes}) {pooled_s:.2f} s -> {speedup:.2f}x on "
-          f"{os.cpu_count()} cores (digests {'EQUAL' if equal else 'DIFFER'})")
+          f"{cpu_count} cores (digests {'EQUAL' if equal else 'DIFFER'})"
+          f"{note}")
     return {
         "n_cells": len(grid),
         "processes": processes,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "serial_wall_s": round(serial_s, 3),
         "pooled_wall_s": round(pooled_s, 3),
         "pool_speedup": round(speedup, 2),
+        "pool_speedup_trusted": trusted,
         "digests_equal": equal,
     }
+
+
+def _pool_speedup_trusted(campaign: dict | None) -> bool:
+    """Whether a report's pool-speedup number means anything.
+
+    Older baselines predate the explicit flag: fall back to the recorded
+    ``cpu_count`` (a pool can only help with >= 2 CPUs).
+    """
+    if not campaign:
+        return False
+    if "pool_speedup_trusted" in campaign:
+        return bool(campaign["pool_speedup_trusted"])
+    return (campaign.get("cpu_count") or 1) >= 2 and campaign.get(
+        "processes", 1) >= 2
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--points",
                         default="64x1000,64x2000,256x10000,1024x50000,"
-                                "1024x100000,16384x1000000",
+                                "1024x100000,4096x200000,16384x1000000",
                         help="comma-separated NODESxJOBS sweep points")
     parser.add_argument("--max-ref-jobs", type=int, default=50_000,
                         help="skip the reference core above this job count")
-    parser.add_argument("--max-easy-jobs", type=int, default=100_000,
+    parser.add_argument("--max-easy-jobs", type=int, default=200_000,
                         help="skip the easy_capped mode above this job count")
+    parser.add_argument("--profile", action="store_true",
+                        help="after timing each point, run one profiled "
+                             "array-core pass per mode and write the "
+                             "cProfile top-N next to the JSON report")
     parser.add_argument("--repeats", type=int, default=5,
                         help="best-of-N timing per core (default 5)")
     parser.add_argument("--repeat-budget-s", type=float, default=40.0,
@@ -239,13 +295,15 @@ def main(argv: list[str] | None = None) -> int:
             points.append((int(n), int(j)))
 
     warmup()
+    profile_dir = Path(args.out).resolve().parent if args.profile else None
     runs: list[dict] = []
     speedups: dict[str, dict[str, dict]] = {}
     digests_equal: dict[str, dict[str, bool]] = {}
     for n_nodes, n_jobs in points:
         point_runs, point_speedups, point_equal = bench_point(
             n_nodes, n_jobs, args.max_ref_jobs, args.max_easy_jobs,
-            repeats=args.repeats, budget_s=args.repeat_budget_s)
+            repeats=args.repeats, budget_s=args.repeat_budget_s,
+            profile_dir=profile_dir)
         runs += point_runs
         key = f"{n_nodes}x{n_jobs}"
         if point_speedups:
@@ -295,6 +353,22 @@ def main(argv: list[str] | None = None) -> int:
                           f"(floor {floor:.2f}x) -> {status}")
                     if measured < floor:
                         ok = False
+        base_campaign = baseline.get("campaign")
+        if (campaign is not None
+                and _pool_speedup_trusted(campaign)
+                and _pool_speedup_trusted(base_campaign)):
+            measured = campaign["pool_speedup"]
+            expected = base_campaign["pool_speedup"]
+            floor = expected * (1.0 - args.tolerance)
+            status = "ok" if measured >= floor else "REGRESSED"
+            print(f"speedup check campaign/pool_speedup: measured "
+                  f"{measured:.2f}x vs baseline {expected:.2f}x "
+                  f"(floor {floor:.2f}x) -> {status}")
+            if measured < floor:
+                ok = False
+        elif campaign is not None:
+            print("speedup check campaign/pool_speedup: skipped "
+                  "(untrusted on <2 CPUs)")
 
     return 0 if ok else 1
 

@@ -61,13 +61,19 @@ fuzzes that claim across policy x cap x outage x workload scenarios.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .calendar import _index
-from .contract import _ETA_EPS, _PowerLedger, _resolve_ledger
+from .contract import (
+    _EPOCH_CATCHUP,
+    _ETA_EPS,
+    _PowerLedger,
+    _replay_epoch_acct,
+    _resolve_ledger,
+)
 from .job import Job, JobRecord, JobState
 from .policies import FifoScheduler, ReadyView, SchedulerContext
 from .simulate import SimulationResult
@@ -79,15 +85,22 @@ __all__ = ["run_array"]
 
 _INF = float("inf")
 
-# Lane field columns (one row per running job).
-_REM, _SPD, _GRT, _SEG, _ETA, _ENG, _ELP, _WRK, _PWR, _FLR = range(10)
-_NFIELDS = 10
+# Lane field columns (one row per running job).  _DYN caches the job's
+# controllable power share max(true_power - idle_floor, 0) — a per-lane
+# constant the trim-epoch path reuses so granted power is two vector ops
+# instead of a compare + where + multiply + add.  _ASEG is the start of
+# the first *accounting*-pending segment: the lane's energy / elapsed /
+# work accumulators are settled through _ASEG, while the kinematic
+# fields (_REM/_SPD/_GRT/_SEG/_ETA) are always current (see the
+# trim-epoch machinery in run_array).
+(_REM, _SPD, _GRT, _SEG, _ETA, _ENG, _ELP, _WRK, _PWR, _FLR,
+ _DYN, _ASEG) = range(12)
+_NFIELDS = 12
 
 #: Rebuild the completion heap after this many trim-stable events.  In
 #: array mode "next completion" is an O(running) vector min; the heap is
 #: only worth its rebuild cost once the trim ratio stops moving.
 _HEAP_HYSTERESIS = 64
-
 
 def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
     """Run ``sim`` over ``jobs`` with the structure-of-arrays core."""
@@ -153,15 +166,63 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
     pos_get = pos.get
     pos_pop = pos.pop
 
+    # --- trim-epoch history (capped path) ------------------------------
+    # One entry per applied trim change: (t, rho, speed).  Kinematics
+    # (remaining work, speed, granted, segment, ETA) are updated eagerly
+    # and cheaply on every epoch — exact ETAs are what "next completion"
+    # needs — while the per-lane accumulators (energy/elapsed/work) are
+    # settled lazily: each lane replays its pending epochs' exact
+    # per-segment `_settle` sequence only when the lane is individually
+    # touched (completion, requeue), with a vectorized whole-array
+    # catch-up once the oldest lane lags by _EPOCH_CATCHUP epochs.
+    epochs: list[tuple[float, float, float]] = []
+    # lane -> index of the first accounting-pending epoch (== len(epochs)
+    # when the lane is fully settled).  Swap-removed alongside F.
+    acct_idx = np.zeros(max_running, dtype=np.int64)
+
     # --- completion calendar (hybrid heap / vector-min) ----------------
     eta_heap: list = []
     heap_valid = True  # empty heap over zero lanes is trivially right
     stable_events = 0
     eta_serial = 0
+    # Cached vector-min of the ETA column, recomputed only when an
+    # epoch/open/start/removal dirtied the lanes (submission-only events
+    # reuse the cache instead of an O(running) min per loop trip).
+    eta_min_cache = _INF
+    eta_min_dirty = True
 
     # --- ready queue: backing list + cursor ----------------------------
     q_recs: list[JobRecord] = []
     q_head = 0
+    # Queue columns aligned index-for-index with q_recs (dead prefix
+    # [0:q_head] included): qcol_n[i] is q_recs[i].job.n_nodes, qcol_w[i]
+    # its requested walltime.  EASY's backfill scan reads them as NumPy
+    # slices, turning the O(backlog) per-decision candidate walk into a
+    # few C passes (see ReadyView.qn).  Amortized-doubling capacity.
+    q_cap = 256
+    qcol_n = np.empty(q_cap, dtype=np.int64)
+    qcol_w = np.empty(q_cap, dtype=np.float64)
+
+    def _q_append(rec: JobRecord) -> None:
+        nonlocal q_cap, qcol_n, qcol_w
+        i = len(q_recs)
+        if i >= q_cap:
+            q_cap *= 2
+            qcol_n = np.resize(qcol_n, q_cap)
+            qcol_w = np.resize(qcol_w, q_cap)
+        job = rec.job
+        qcol_n[i] = job.n_nodes
+        qcol_w[i] = job.walltime_req_s
+        q_recs.append(rec)
+
+    # --- incremental release list (EASY head reservation) --------------
+    # Sorted (requested_end, n_nodes, job_id, record) per running job,
+    # maintained only when the policy opts in (wants_releases): insort
+    # on start, bisect-remove on completion/requeue.  requested_end =
+    # start_time_s + walltime_req_s is the same two floats whenever it
+    # is computed, so removal keys rebuild bit-identically.
+    track_releases = bool(getattr(policy, "wants_releases", False))
+    releases: list[tuple[float, int, int, JobRecord]] = []
 
     fresh_jids: list[int] = []  # started since last trim application
     trace_t_l: list[float] = []
@@ -206,27 +267,53 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             power_budget_w=cap_w,
         )
 
-    view = ReadyView(q_recs, 0, 0, _make_ctx)
+    view = ReadyView(
+        q_recs, 0, 0, _make_ctx,
+        releases=releases if track_releases else None,
+    )
+
+    def _replay_acct(row, k: int):
+        """Replay the lane's pending accounting epochs scalarly.
+
+        Delegates to the contract's :func:`_replay_epoch_acct`: walks
+        ``epochs[k:]`` reproducing the exact per-segment ``_settle``
+        sequence the eager core would have run.  Every pending epoch is
+        speed-changing by construction (granted-only moves are applied
+        eagerly), so every positive-length segment settles — exactly
+        the scalar contract's change condition.  Returns the (energy,
+        elapsed, work) accumulators settled through the lane's current
+        kinematic segment start (``row[_SEG]``).
+        """
+        return _replay_epoch_acct(
+            epochs, k, row[_ASEG],
+            row[_PWR], row[_FLR], row[_DYN],
+            row[_ENG], row[_ELP], row[_WRK],
+        )
 
     def _flush(lane: int, rec: JobRecord) -> None:
         """Settle the open segment and write the accumulators back.
 
         The scalar twin of the contract's ``_settle``: same ops on the
-        same values, so the record fields land bit-identical.  Stretch
-        is a pure function of the totals (elapsed / work), so deferring
-        it to the flush reproduces the reference's last-settle value.
+        same values, so the record fields land bit-identical.  Pending
+        trim epochs (lazy accounting) replay first; the final open
+        segment then settles at the lane's current speed/granted.
+        Stretch is a pure function of the totals (elapsed / work), so
+        deferring it to the flush reproduces the reference's
+        last-settle value.
         """
         row = F[lane]
-        dt = now - row[_SEG]
-        if dt > 0.0:
-            work = dt * row[_SPD]
-            energy = row[_ENG] + row[_GRT] * dt
-            elapsed = row[_ELP] + dt
-            workt = row[_WRK] + work
+        k = acct_idx[lane]
+        if k < len(epochs):
+            energy, elapsed, workt = _replay_acct(row, k)
         else:
             energy = row[_ENG]
             elapsed = row[_ELP]
             workt = row[_WRK]
+        dt = now - row[_SEG]
+        if dt > 0.0:
+            energy = energy + row[_GRT] * dt
+            elapsed = elapsed + dt
+            workt = workt + dt * row[_SPD]
         rec.energy_j = float(energy)
         rec.elapsed_running_s = float(elapsed)
         rec.work_progressed_s = float(workt)
@@ -238,6 +325,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
         last = len(lane_jid) - 1
         if lane != last:
             F[lane] = F[last]
+            acct_idx[lane] = acct_idx[last]
             moved = lane_jid[last]
             lane_jid[lane] = moved
             lane_recs[lane] = lane_recs[last]
@@ -247,14 +335,27 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
         lane_recs.pop()
         lane_serial.pop()
 
+    def _release_remove(rec: JobRecord) -> None:
+        """Drop a finished/requeued job's entry from the release list."""
+        job = rec.job
+        key = (rec.start_time_s + job.walltime_req_s, job.n_nodes, job.job_id)
+        i = bisect_left(releases, key)
+        # The 3-tuple prefix sorts immediately before the unique 4-tuple.
+        del releases[i]
+
     def _apply_trim(rho: float, speed: float) -> None:
-        """Vectorized ``_set_speed`` over every lane.
+        """Vectorized ``_set_speed`` over every lane (eager, masked).
 
         Elementwise float64 NumPy ops perform the exact IEEE-754
         operations the scalar helper does, in the same per-job operand
         order, so lane state stays bit-identical to ``_Running`` state.
         Sentinel lanes (speed 0, granted -1) are always "changed", which
         opens fresh jobs' first segments exactly like the calendar core.
+
+        Only the rare granted-only trim moves (rho moved but the speed
+        float collapsed, e.g. speed_exponent == 0) still take this
+        masked path — a per-lane change test is unavoidable there.  The
+        common speed-changing move takes ``_apply_epoch`` instead.
         """
         n = len(lane_jid)
         if not n:
@@ -287,6 +388,99 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
         grt[changed] = granted_new[changed]
         seg[changed] = now
         rows[:, _ETA][changed] = now + rem[changed] / speed
+
+    def _apply_epoch(rho: float, speed: float, prev_speed: float) -> None:
+        """Record one speed-changing trim epoch; update kinematics only.
+
+        Requires ``speed != prev_speed``, which makes *every* lane
+        "changed" under the scalar contract (a lane's stored speed is
+        either ``prev_speed`` — the speed column is uniform after any
+        full application — or the 0.0 sentinel of a lane opened at this
+        same timestamp, whose segment has zero length).  That collapses
+        the masked ``_set_speed`` vectorization to ~9 unmasked in-place
+        vector ops:
+
+        * ``work = dt * prev_speed`` multiplies by the same float the
+          per-lane speed column holds, so the debit is bit-identical;
+          sentinel lanes have ``dt == 0`` and ``x - 0.0 * s == x``
+          exactly, reproducing their skipped settle;
+        * granted power is ``floor + dynpos * rho`` with the cached
+          ``dynpos = max(power - floor, 0)`` lane constant — the same
+          operands the masked path's ``where`` produces, and the exact
+          formula ``_open_fresh`` uses, so sentinel lanes open their
+          first segment bit-identically;
+        * the new ETA ``now + rem / speed`` re-rounds for every lane,
+          exactly as the scalar ``_set_speed`` does for changed lanes.
+
+        The accounting accumulators are *not* touched: the epoch entry
+        appended here lets ``_replay_acct`` (or ``_acct_catchup``)
+        reproduce the deferred ``_settle`` sequence exactly.
+        """
+        epochs.append((now, rho, speed))
+        n = len(lane_jid)
+        if not n:
+            return
+        rows = F[:n]
+        seg = rows[:, _SEG]
+        rem = rows[:, _REM]
+        rem -= (now - seg) * prev_speed
+        seg[:] = now
+        grt = rows[:, _GRT]
+        if rho >= 1.0:
+            grt[:] = rows[:, _PWR]
+        else:
+            np.multiply(rows[:, _DYN], rho, out=grt)
+            grt += rows[:, _FLR]
+        rows[:, _SPD] = speed
+        eta = rows[:, _ETA]
+        np.divide(rem, speed, out=eta)
+        eta += now
+
+    def _acct_catchup() -> None:
+        """Vectorized replay of every lane's pending accounting epochs.
+
+        The masked twin of ``_replay_acct``: epoch k's segment is
+        billed, for every lane whose pending range covers it, at the
+        uniform pre-epoch (rho, speed) — uniform because a lane synced
+        at epoch j joined at exactly the state epochs[j-1] established.
+        Per-lane accumulation order is segment order, identical to the
+        scalar replay, so the floats land bit-for-bit the same.
+        """
+        n_epochs = len(epochs)
+        n = len(lane_jid)
+        if not n or not n_epochs:
+            return
+        av = acct_idx[:n]
+        kmin = int(av.min())
+        if kmin >= n_epochs:
+            return
+        rows = F[:n]
+        t_prev = rows[:, _ASEG].copy()
+        eng = rows[:, _ENG]
+        elp = rows[:, _ELP]
+        wrk = rows[:, _WRK]
+        pwr = rows[:, _PWR]
+        flr = rows[:, _FLR]
+        dyn = rows[:, _DYN]
+        for k in range(kmin, n_epochs):
+            t_k, _rho_k, _speed_k = epochs[k]
+            if k:
+                _, prev_rho, prev_speed = epochs[k - 1]
+            else:
+                prev_rho = prev_speed = 1.0
+            covered = av <= k
+            m = covered & (t_prev < t_k)
+            if m.any():
+                dtm = t_k - t_prev[m]
+                if prev_rho >= 1.0:
+                    eng[m] += pwr[m] * dtm
+                else:
+                    eng[m] += (flr[m] + dyn[m] * prev_rho) * dtm
+                elp[m] += dtm
+                wrk[m] += dtm * prev_speed
+            t_prev[covered] = t_k
+        rows[:, _ASEG] = t_prev
+        av[:] = n_epochs
 
     def _open_fresh(jid: int, rho: float, speed: float) -> None:
         """Open a just-started job's first segment (trim unchanged).
@@ -335,6 +529,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
 
     def _requeue_insert(rec: JobRecord) -> None:
         """Re-insert a crashed job at its (submit, id) queue position."""
+        nonlocal q_cap, qcol_n, qcol_w
         key = (rec.job.submit_time_s, rec.job.job_id)
         lo, hi = q_head, len(q_recs)
         while lo < hi:
@@ -344,6 +539,16 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                 lo = mid + 1
             else:
                 hi = mid
+        n_q = len(q_recs)
+        if n_q >= q_cap:
+            q_cap *= 2
+            qcol_n = np.resize(qcol_n, q_cap)
+            qcol_w = np.resize(qcol_w, q_cap)
+        # .copy() on the RHS: overlapping same-array slice assignment.
+        qcol_n[lo + 1 : n_q + 1] = qcol_n[lo:n_q].copy()
+        qcol_w[lo + 1 : n_q + 1] = qcol_w[lo:n_q].copy()
+        qcol_n[lo] = rec.job.n_nodes
+        qcol_w[lo] = rec.job.walltime_req_s
         q_recs.insert(lo, rec)
 
     def _start_one(rec: JobRecord) -> None:
@@ -369,6 +574,10 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
         pos[jid] = lane
         runtime = job.true_runtime_s
         power = job.true_power_w
+        floor = k * idle_w
+        dynamic = power - floor
+        dynpos = dynamic if dynamic > 0.0 else 0.0
+        acct_idx[lane] = len(epochs)
         if uncapped:
             # rho is pinned at 1.0: open the first segment inline.
             # `runtime / 1.0 == runtime`, so the stored ETA is the exact
@@ -377,7 +586,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             F[lane] = (
                 runtime, 1.0, power, now, eta,
                 rec.energy_j, rec.elapsed_running_s,
-                rec.work_progressed_s, power, k * idle_w,
+                rec.work_progressed_s, power, floor, dynpos, now,
             )
             if heap_valid:
                 if stale_possible:
@@ -392,10 +601,12 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             F[lane] = (
                 runtime, 0.0, -1.0, now, _INF,
                 rec.energy_j, rec.elapsed_running_s,
-                rec.work_progressed_s, power, k * idle_w,
+                rec.work_progressed_s, power, floor, dynpos, now,
             )
             fresh_jids.append(jid)
         running_recs[jid] = rec
+        if track_releases:
+            insort(releases, (now + job.walltime_req_s, k, jid, rec))
         if track_owner:
             for node_id in alloc:
                 node_owner[node_id] = jid
@@ -405,23 +616,52 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             on_start(rec)
 
     def try_start() -> None:
-        nonlocal q_recs, q_head, power_dirty, ctx_dirty
+        nonlocal q_head, power_dirty, ctx_dirty, q_cap, qcol_n, qcol_w
         if q_head >= len(q_recs):
             return
         if policy_select_batch is not None:
             view.head = q_head
             view.n_free = len(free)
+            view.now_s = now
+            view.qn = qcol_n
+            view.qw = qcol_w
+            view.picked = None
             chosen = policy_select_batch(view)
+            picked = view.picked
         else:
             # Pass a copy, like the other cores: a policy that mutates
             # its queue argument cannot diverge the cores.
+            picked = None
             chosen = policy_select(q_recs[q_head:], _make_ctx())
         if not chosen:
             return
         for rec in chosen:
             _start_one(rec)
         m = len(chosen)
-        if (
+        if picked is not None and len(picked) == m:
+            # The policy reported exactly which queue slots it took:
+            # advance the cursor over the leading contiguous run, then
+            # close the (few) backfill holes with C-level deletes — no
+            # per-record Python sweep over the backlog.
+            p = 0
+            while p < m and picked[p] == q_head + p:
+                p += 1
+            q_head += p
+            holes = picked[p:]
+            if holes:
+                n_q = len(q_recs)
+                for j in reversed(holes):
+                    del q_recs[j]
+                # Compress the column tail once, from the first hole on.
+                j0 = holes[0]
+                keep = np.ones(n_q - j0, dtype=bool)
+                for j in holes:
+                    keep[j - j0] = False
+                seg = qcol_n[j0:n_q][keep]
+                qcol_n[j0 : j0 + seg.size] = seg
+                seg = qcol_w[j0:n_q][keep]
+                qcol_w[j0 : j0 + seg.size] = seg
+        elif (
             chosen[0] is q_recs[q_head]
             if m == 1
             else all(chosen[i] is q_recs[q_head + i] for i in range(m))
@@ -429,10 +669,22 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             # Queue-order prefix (FIFO, EASY phase 1): just advance.
             q_head += m
         else:
-            started_ids = {r.job.job_id for r in chosen}
-            q_recs = [r for r in q_recs[q_head:] if r.job.job_id not in started_ids]
+            # Unknown selection shape (no picked indices): rebuild the
+            # pending region with a C-speed identity filter, then
+            # refresh the queue columns to match.
+            chosen_ids = {id(r) for r in chosen}
+            q_recs[:] = [r for r in q_recs[q_head:] if id(r) not in chosen_ids]
             q_head = 0
-            view.recs = q_recs
+            n_q = len(q_recs)
+            while n_q > q_cap:
+                q_cap *= 2
+            if qcol_n.size < q_cap:
+                qcol_n = np.empty(q_cap, dtype=np.int64)
+                qcol_w = np.empty(q_cap, dtype=np.float64)
+            for i, r in enumerate(q_recs):
+                job = r.job
+                qcol_n[i] = job.n_nodes
+                qcol_w[i] = job.walltime_req_s
         power_dirty = True
         ctx_dirty = True
 
@@ -471,12 +723,16 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             pos[jid] = lane
             runtime = job.true_runtime_s
             power = job.true_power_w
+            floor = k * idle_w
+            dynamic = power - floor
+            dynpos = dynamic if dynamic > 0.0 else 0.0
+            acct_idx[lane] = len(epochs)
             if uncapped:
                 eta = now + runtime
                 F[lane] = (
                     runtime, 1.0, power, now, eta,
                     rec.energy_j, rec.elapsed_running_s,
-                    rec.work_progressed_s, power, k * idle_w,
+                    rec.work_progressed_s, power, floor, dynpos, now,
                 )
                 if heap_valid:
                     if stale_possible:
@@ -489,7 +745,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                 F[lane] = (
                     runtime, 0.0, -1.0, now, _INF,
                     rec.energy_j, rec.elapsed_running_s,
-                    rec.work_progressed_s, power, k * idle_w,
+                    rec.work_progressed_s, power, floor, dynpos, now,
                 )
                 fresh_jids.append(jid)
             if track_running:
@@ -530,25 +786,54 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                     ledger, n_alive, cap_w, rho_min, speed_exponent,
                 )
                 if rho != cur_rho or speed != cur_speed:
-                    # The trim moved: every ETA shifts at once, so run
-                    # the vectorized re-trim and drop the heap (vector-
-                    # min mode) instead of rebuilding it per change.
+                    # The trim moved.  Cascade batching means this runs
+                    # at most once per loop trip: every same-timestamp
+                    # completion/outage/start already drained and the
+                    # ledger resolved once for the whole batch.  Every
+                    # ETA shifts at once, so drop the heap (vector-min
+                    # mode) instead of rebuilding it per change.
+                    if speed != cur_speed:
+                        # Speed-changing move (the common case): record
+                        # one trim epoch, update the kinematic lanes
+                        # with the cheap unmasked path, and defer the
+                        # accounting settle to replay/catch-up.
+                        _apply_epoch(rho, speed, cur_speed)
+                        if lane_jid and len(epochs) - int(
+                            acct_idx[: len(lane_jid)].min()
+                        ) >= _EPOCH_CATCHUP:
+                            _acct_catchup()
+                    else:
+                        # Granted-only move (the speed float collapsed,
+                        # e.g. speed_exponent == 0): catch accounting
+                        # up, run the masked eager path, and record the
+                        # rho move so later replays bill the granted
+                        # power history correctly.
+                        _acct_catchup()
+                        _apply_trim(rho, speed)
+                        epochs.append((now, rho, speed))
+                        n_live = len(lane_jid)
+                        acct_idx[:n_live] = len(epochs)
+                        F[:n_live, _ASEG] = F[:n_live, _SEG]
                     cur_rho, cur_speed = rho, speed
-                    _apply_trim(rho, speed)
                     eta_heap = []
                     heap_valid = False
                     stable_events = 0
                     fresh_jids.clear()
+                    eta_min_dirty = True
                 elif fresh_jids:
                     for jid in fresh_jids:
                         _open_fresh(jid, rho, speed)
                     fresh_jids.clear()
+                    eta_min_dirty = True
         if not heap_valid:
             stable_events += 1
             if stable_events >= _HEAP_HYSTERESIS:
                 _rebuild_heap()
-            n_run = len(lane_jid)
-            t_complete = float(eta_col[:n_run].min()) if n_run else _INF
+            if eta_min_dirty:
+                n_run = len(lane_jid)
+                eta_min_cache = float(eta_col[:n_run].min()) if n_run else _INF
+                eta_min_dirty = False
+            t_complete = eta_min_cache
         elif eta_heap:
             if stale_possible:
                 while True:
@@ -609,24 +894,31 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                 rec = lane_recs[lane]
                 # Inline flush + swap-remove (see _flush/_remove_lane).
                 row = F[lane]
+                if acct_idx[lane] < len(epochs):
+                    # Pending trim epochs: replay the lane's exact
+                    # deferred `_settle` sequence before the final
+                    # segment (the epoch-settled lazy accounting).
+                    energy, elapsed, workt = _replay_acct(row, acct_idx[lane])
+                else:
+                    energy = row[_ENG]
+                    elapsed = row[_ELP]
+                    workt = row[_WRK]
                 f_dt = now - row[_SEG]
                 if f_dt > 0.0:
-                    work = f_dt * row[_SPD]
-                    rec.energy_j = float(row[_ENG] + row[_GRT] * f_dt)
-                    rec.elapsed_running_s = float(row[_ELP] + f_dt)
-                    workt = row[_WRK] + work
-                else:
-                    rec.energy_j = float(row[_ENG])
-                    rec.elapsed_running_s = float(row[_ELP])
-                    workt = row[_WRK]
+                    energy = energy + row[_GRT] * f_dt
+                    elapsed = elapsed + f_dt
+                    workt = workt + f_dt * row[_SPD]
+                rec.energy_j = float(energy)
+                rec.elapsed_running_s = float(elapsed)
                 rec.work_progressed_s = float(workt)
                 if workt > 0.0:
-                    rec.stretch = float(rec.elapsed_running_s / workt)
+                    rec.stretch = float(elapsed / workt)
                 power = float(row[_PWR])
                 k = len(rec.nodes)
                 last = len(lane_jid) - 1
                 if lane != last:
                     F[lane] = F[last]
+                    acct_idx[lane] = acct_idx[last]
                     moved = lane_jid[last]
                     lane_jid[lane] = moved
                     lane_recs[lane] = lane_recs[last]
@@ -637,6 +929,8 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                 lane_serial.pop()
                 if track_running:
                     del running_recs[jid]
+                if track_releases:
+                    _release_remove(rec)
                 # _PowerLedger.remove, inlined: the lane's _PWR/_FLR hold
                 # the exact floats `job.true_power_w` / floor would give.
                 ledger.busy_nodes -= k
@@ -663,6 +957,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
             if finished_jids:
                 power_dirty = True
                 ctx_dirty = True
+                eta_min_dirty = True
         if n_outages:
             # Node repairs: the node rejoins the free pool.
             while recoveries and recoveries[0][0] <= now + 1e-12:
@@ -702,8 +997,11 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
                 rec = lane_recs[lane]
                 _flush(lane, rec)
                 _remove_lane(lane)
+                eta_min_dirty = True
                 if track_running:
                     del running_recs[victim_jid]
+                if track_releases:
+                    _release_remove(rec)
                 ledger.remove(rec.job)
                 if victim_jid in fresh_jids:
                     fresh_jids.remove(victim_jid)
@@ -723,7 +1021,7 @@ def run_array(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResult:
         # backing queue sorted.
         while t_submit <= now + 1e-12:
             job = pending[submit_idx]
-            q_recs.append(records[job.job_id])
+            _q_append(records[job.job_id])
             submit_idx += 1
             t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else _INF
         start_fn()

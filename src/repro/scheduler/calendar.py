@@ -49,7 +49,7 @@ from .contract import (
     _settle,
 )
 from .job import Job, JobRecord, JobState
-from .policies import SchedulerContext
+from .policies import ReadyView, SchedulerContext
 from .simulate import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,6 +101,7 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
     speed_exponent = sim.speed_exponent
     policy = sim.policy
     policy_select = policy.select
+    policy_select_batch = getattr(policy, "select_batch", None)
     outages = sim.node_outages
     n_outages = len(outages)
     on_start = sim.on_job_start
@@ -150,15 +151,47 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
     recoveries: list[tuple[float, int]] = []  # heap of (rejoin time, node)
     n_requeues = 0
 
-    def try_start() -> None:
-        nonlocal ready, ready_recs, power_dirty, ctx_dirty, running_tuple, free_tuple
-        if not ready:
-            return
+    # Incremental release list for ReadyView-aware policies (EASY):
+    # sorted (requested_end, n_nodes, job_id, record), insort on start,
+    # bisect-remove on completion/requeue.  requested_end recomputes to
+    # the same float (same two operands) whenever it is derived, so the
+    # removal key always hits the inserted entry.
+    track_releases = bool(getattr(policy, "wants_releases", False))
+    releases: list[tuple[float, int, int, JobRecord]] = []
+
+    # Queue columns for ReadyView.qn/.qw: ready_recs[i] aligns with
+    # qcol_*[qoff + i] (the [0:qoff] region is dead — prefix starts
+    # advance the offset instead of shifting the arrays).  qlen is the
+    # absolute fill pointer, so qlen - qoff == len(ready) always.
+    q_cap = 256
+    qcol_n = np.empty(q_cap, dtype=np.int64)
+    qcol_w = np.empty(q_cap, dtype=np.float64)
+    qoff = 0
+    qlen = 0
+
+    def _q_append(job) -> None:
+        nonlocal q_cap, qcol_n, qcol_w, qlen
+        if qlen >= q_cap:
+            q_cap *= 2
+            qcol_n = np.resize(qcol_n, q_cap)
+            qcol_w = np.resize(qcol_w, q_cap)
+        qcol_n[qlen] = job.n_nodes
+        qcol_w[qlen] = job.walltime_req_s
+        qlen += 1
+
+    def _release_remove(rec: JobRecord) -> None:
+        job = rec.job
+        key = (rec.start_time_s + job.walltime_req_s, job.n_nodes, job.job_id)
+        i = bisect_left(releases, key)
+        del releases[i]
+
+    def _make_ctx() -> SchedulerContext:
+        nonlocal running_tuple, free_tuple, ctx_dirty
         if ctx_dirty:
             running_tuple = tuple(running_recs.values())
             free_tuple = tuple(free)
             ctx_dirty = False
-        ctx = SchedulerContext(
+        return SchedulerContext(
             now_s=now,
             free_nodes=free_tuple,
             running=running_tuple,
@@ -166,10 +199,35 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
             system_power_w=last_power,
             power_budget_w=cap_w,
         )
-        started: set[int] = set()
-        # Pass a copy: the reference core does the same, so a policy that
-        # mutates its queue argument cannot diverge the two cores.
-        for rec in policy_select(list(ready_recs), ctx):
+
+    view = ReadyView(
+        ready_recs, 0, 0, _make_ctx,
+        releases=releases if track_releases else None,
+    )
+
+    def try_start() -> None:
+        nonlocal power_dirty, ctx_dirty, q_cap, qcol_n, qcol_w, qoff, qlen
+        if not ready:
+            return
+        if policy_select_batch is not None:
+            # Batched decision: the policy reads the backing queue in
+            # place and — when it opted into the release list — never
+            # forces the frozen context's O(running) tuple builds.
+            view.n_free = len(free)
+            view.now_s = now
+            view.qn = qcol_n[qoff:qlen]
+            view.qw = qcol_w[qoff:qlen]
+            view.picked = None
+            chosen = policy_select_batch(view)
+            picked = view.picked
+        else:
+            # Pass a copy: the reference core does the same, so a policy
+            # that mutates its queue argument cannot diverge the cores.
+            picked = None
+            chosen = policy_select(list(ready_recs), _make_ctx())
+        if not chosen:
+            return
+        for rec in chosen:
             job = rec.job
             if job.n_nodes > len(free):
                 raise RuntimeError(
@@ -181,10 +239,12 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
             rec.nodes = alloc
             rec.state = JobState.RUNNING
             rec.start_time_s = now
-            started.add(job.job_id)
             r = _Running(rec, job.true_runtime_s, now)
             running_by_id[job.job_id] = r
             running_recs[job.job_id] = rec
+            if track_releases:
+                insort(releases, (now + job.walltime_req_s, job.n_nodes,
+                                  job.job_id, rec))
             for node_id in alloc:
                 node_owner[node_id] = r
             ledger.add(job)
@@ -193,18 +253,60 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
             m_started_inc()
             if on_start is not None:
                 on_start(rec)
-        if started:
-            k = len(started)
-            if all(t[1] in started for t in ready[:k]):
-                # Queue-order policies (FIFO, EASY phase 1) start a
-                # prefix: slice it off at C speed.
-                del ready[:k]
-                del ready_recs[:k]
-            else:
-                ready = [t for t in ready if t[1] not in started]
-                ready_recs = [t[2] for t in ready]
-            power_dirty = True
-            ctx_dirty = True
+        m = len(chosen)
+        if picked is not None and len(picked) == m:
+            # The policy reported its queue indices (relative to
+            # ready_recs): slice the leading run off at C speed, then
+            # close the few backfill holes with targeted deletes and a
+            # single column-tail compression.
+            p = 0
+            while p < m and picked[p] == p:
+                p += 1
+            base = qoff  # column alignment before the prefix advance
+            if p:
+                del ready[:p]
+                del ready_recs[:p]
+                qoff += p
+            holes = picked[p:]
+            if holes:
+                for j in reversed(holes):
+                    del ready[j - p]
+                    del ready_recs[j - p]
+                abs0 = base + holes[0]
+                keep = np.ones(qlen - abs0, dtype=bool)
+                for j in holes:
+                    keep[base + j - abs0] = False
+                seg = qcol_n[abs0:qlen][keep]
+                qcol_n[abs0 : abs0 + seg.size] = seg
+                seg = qcol_w[abs0:qlen][keep]
+                qcol_w[abs0 : abs0 + seg.size] = seg
+                qlen -= len(holes)
+        elif all(ready_recs[i] is chosen[i] for i in range(m)):
+            # Queue-order policies (FIFO, EASY phase 1) start a
+            # prefix: slice it off at C speed.
+            del ready[:m]
+            del ready_recs[:m]
+            qoff += m
+        else:
+            # Unknown selection shape: filter by identity, then rebuild
+            # the queue columns to match the compacted list.
+            leftover = {id(r) for r in chosen}
+            keep_t = [t for t in ready if id(t[2]) not in leftover]
+            ready[:] = keep_t
+            ready_recs[:] = [t[2] for t in keep_t]
+            qoff = 0
+            qlen = len(ready_recs)
+            while qlen > q_cap:
+                q_cap *= 2
+            if qcol_n.size < q_cap:
+                qcol_n = np.empty(q_cap, dtype=np.int64)
+                qcol_w = np.empty(q_cap, dtype=np.float64)
+            for i, r in enumerate(ready_recs):
+                job = r.job
+                qcol_n[i] = job.n_nodes
+                qcol_w[i] = job.walltime_req_s
+        power_dirty = True
+        ctx_dirty = True
 
     while completed < n_jobs:
         if power_dirty:
@@ -282,6 +384,8 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
                 jid = rec.job.job_id
                 del running_by_id[jid]
                 del running_recs[jid]
+                if track_releases:
+                    _release_remove(rec)
                 ledger.remove(rec.job)
                 rec.state = JobState.COMPLETED
                 rec.end_time_s = now
@@ -333,6 +437,8 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
                 jid = rec.job.job_id
                 del running_by_id[jid]
                 del running_recs[jid]
+                if track_releases:
+                    _release_remove(rec)
                 ledger.remove(rec.job)
                 if victim in fresh:
                     fresh.remove(victim)
@@ -352,6 +458,17 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
                 i = bisect_left(ready, key)
                 ready.insert(i, (rec.job.submit_time_s, jid, rec))
                 ready_recs.insert(i, rec)
+                if qlen >= q_cap:
+                    q_cap *= 2
+                    qcol_n = np.resize(qcol_n, q_cap)
+                    qcol_w = np.resize(qcol_w, q_cap)
+                a = qoff + i
+                # .copy(): overlapping same-array slice assignment.
+                qcol_n[a + 1 : qlen + 1] = qcol_n[a:qlen].copy()
+                qcol_w[a + 1 : qlen + 1] = qcol_w[a:qlen].copy()
+                qcol_n[a] = rec.job.n_nodes
+                qcol_w[a] = rec.job.walltime_req_s
+                qlen += 1
                 if on_requeue is not None:
                     on_requeue(rec)
         # Submissions arrive in (submit, id) order, so appends keep
@@ -360,6 +477,7 @@ def run_calendar(sim: "ClusterSimulator", jobs: Sequence[Job]) -> SimulationResu
             job = pending[submit_idx]
             ready.append((job.submit_time_s, job.job_id, records[job.job_id]))
             ready_recs.append(records[job.job_id])
+            _q_append(job)
             submit_idx += 1
             t_submit = pending[submit_idx].submit_time_s if submit_idx < n_jobs else _INF
         try_start()

@@ -9,8 +9,11 @@ which pending jobs to start now.
 
 from __future__ import annotations
 
+from heapq import merge as _heap_merge
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence
+
+import numpy as np
 
 from .job import JobRecord
 
@@ -51,9 +54,42 @@ class ReadyView:
     A batch decision must equal ``policy.select(view.tail(), view.ctx())``
     record-for-record: the differential harness pins this by running the
     same scenarios through cores that use either entry point.
+
+    ``releases`` is the core-maintained sorted list of
+    ``(requested_end_s, n_nodes, job_id, record)`` tuples, one per
+    running job — the exact multiset EASY's head-reservation scan
+    rebuilds (and re-sorts) from ``ctx.running`` on every decision.
+    Cores maintain it incrementally (one ``insort`` per start, one
+    bisect-remove per completion/requeue) only when the policy opts in
+    via the ``wants_releases`` class attribute; otherwise it stays
+    ``None`` and policies fall back to the context path.  Because a
+    job's requested end is ``start_time_s + walltime_req_s`` — the same
+    two floats whenever the sum is computed — the incremental list holds
+    bit-identical keys to the per-decision rebuild, and full
+    ``(end, n)`` ties (the only entries whose relative order the extra
+    ``job_id`` key can permute) are interchangeable in any prefix scan.
+
+    ``qn`` / ``qw`` are optional NumPy columns aligned with ``recs``
+    (``qn[i]`` is ``recs[i].job.n_nodes`` as int64, ``qw[i]`` the
+    requested walltime as float64), maintained by the core alongside
+    the backing list.  They let EASY's backfill scan reduce the backlog
+    to a candidate mask in C instead of touching every record from
+    Python; elementwise float64 ops are IEEE-identical to the scalar
+    comparisons, so the decision is unchanged.  ``None`` (the default)
+    selects the pure-Python scan.
+
+    ``picked`` is an out-channel: a ``select_batch`` policy that knows
+    the queue indices of its selection stores them (ascending, aligned
+    with the returned list) so the core can splice the queue with a few
+    targeted C-level deletes instead of an O(queue) rebuild.  The core
+    resets it to ``None`` before every decision and must treat a stale
+    or missing value as "unknown" (fall back to filtering).
     """
 
-    __slots__ = ("recs", "head", "n_free", "_ctx_factory")
+    __slots__ = (
+        "recs", "head", "n_free", "now_s", "releases", "qn", "qw",
+        "picked", "_ctx_factory",
+    )
 
     def __init__(
         self,
@@ -61,10 +97,17 @@ class ReadyView:
         head: int,
         n_free: int,
         ctx_factory: Callable[[], SchedulerContext],
+        now_s: float = 0.0,
+        releases: list[tuple] | None = None,
     ):
         self.recs = recs
         self.head = head
         self.n_free = n_free
+        self.now_s = now_s
+        self.releases = releases
+        self.qn: np.ndarray | None = None
+        self.qw: np.ndarray | None = None
+        self.picked: list[int] | None = None
         self._ctx_factory = ctx_factory
 
     def __len__(self) -> int:
@@ -148,6 +191,9 @@ class EasyBackfillScheduler:
     """
 
     name = "easy-backfill"
+    #: Opt-in: cores that see this maintain the incremental sorted
+    #: release list and hand it over through ``ReadyView.releases``.
+    wants_releases = True
 
     def __init__(self, backfill_depth: int | None = None):
         if backfill_depth is not None and backfill_depth < 0:
@@ -160,58 +206,120 @@ class EasyBackfillScheduler:
         free = len(ctx.free_nodes)
         queue = list(queue)
         # Phase 1: plain FIFO from the head.
-        while queue and queue[0].job.n_nodes <= free:
-            rec = queue.pop(0)
+        i = 0
+        n_queue = len(queue)
+        while i < n_queue and queue[i].job.n_nodes <= free:
+            rec = queue[i]
             started.append(rec)
             free -= rec.job.n_nodes
-        if not queue:
+            i += 1
+        if i >= n_queue:
             return started
-        return self._reserve_and_backfill(started, queue, free, ctx)
+        releases = sorted(
+            (self._requested_end(rec, ctx.now_s), rec.job.n_nodes)
+            for rec in list(ctx.running) + started
+        )
+        return self._reserve_and_backfill(started, queue, i, free, ctx.now_s, releases)
 
     def select_batch(self, view: ReadyView) -> list[JobRecord]:
-        """Batched EASY: prefix scan first, context only when it matters.
+        """Batched EASY: prefix scan first, heavy state only when needed.
 
         Jobs need at least one node, so with zero free nodes neither the
         FIFO prefix nor any backfill candidate can start — return empty
-        without materializing the context.  Otherwise the FIFO prefix is
-        the same bounded scan FIFO uses, and phases 2–3 run unchanged on
-        the remainder.
+        without materializing anything.  Otherwise the FIFO prefix is
+        the same bounded scan FIFO uses, and phases 2–3 run on the
+        backing list in place (no tail copy).  When the core maintains
+        ``view.releases``, the head-reservation scan lazily merges that
+        sorted list with the handful of just-started jobs instead of
+        re-sorting every running job — and the frozen context (with its
+        O(running) tuple builds) is never constructed at all.
         """
         free = view.n_free
         if free == 0:
             return []
         k = view.prefix_fit(free)
         head = view.head
-        started = view.recs[head : head + k]
-        rest = view.recs[head + k :]
-        if not rest:
+        recs = view.recs
+        started = recs[head : head + k]
+        qpos = head + k
+        picked = list(range(head, qpos))
+        if qpos >= len(recs):
+            view.picked = picked
             return started
         for rec in started:
             free -= rec.job.n_nodes
-        return self._reserve_and_backfill(started, rest, free, view.ctx())
+        rel = view.releases
+        if rel is None:
+            ctx = view.ctx()
+            now_s = ctx.now_s
+            releases = sorted(
+                (self._requested_end(rec, now_s), rec.job.n_nodes)
+                for rec in list(ctx.running) + started
+            )
+        else:
+            now_s = view.now_s
+            if started:
+                fresh = sorted(
+                    (now_s + rec.job.walltime_req_s, rec.job.n_nodes)
+                    for rec in started
+                )
+                # Lazy merge: the reservation scan usually stops after a
+                # few entries, so never materialize the merged list.
+                # Mixed tuple widths compare by common prefix; a 2-tuple
+                # sorting before an equal-(end, n) 3/4-tuple is a full
+                # tie, which any prefix-sum scan treats identically.
+                releases = _heap_merge(rel, fresh)
+            else:
+                releases = rel
+        started = self._reserve_and_backfill(
+            started, recs, qpos, free, now_s, releases,
+            qn=view.qn, qw=view.qw, picked=picked,
+        )
+        view.picked = picked
+        return started
 
     def _reserve_and_backfill(
         self,
         started: list[JobRecord],
-        queue: list[JobRecord],
+        recs: list[JobRecord],
+        qpos: int,
         free: int,
-        ctx: SchedulerContext,
+        now_s: float,
+        releases,
+        qn: "np.ndarray | None" = None,
+        qw: "np.ndarray | None" = None,
+        picked: list[int] | None = None,
     ) -> list[JobRecord]:
-        """Phases 2–3: head reservation + conservative hole-filling."""
-        head = queue[0]
+        """Phases 2–3: head reservation + conservative hole-filling.
+
+        ``recs[qpos]`` is the blocked head; candidates follow it in the
+        backing list (iterated by index — no slice copies).  ``releases``
+        is any iterable of ``(requested_end_s, n_nodes, ...)`` tuples in
+        ascending ``(end, n)`` order covering running + just-started
+        jobs; only the first two fields are read.
+
+        With ``qn``/``qw`` columns the phase-3 scan first computes an
+        eligibility mask under the *initial* ``shadow_free`` / spare
+        budgets.  Both budgets only shrink as candidates are accepted
+        and ``reservation_time`` is fixed, so a job ineligible at the
+        start can never become eligible later: the mask is a sound
+        superset of every job the sequential scan would start.  The
+        scalar loop then replays only those candidates with the exact
+        original checks (vector float64 add/compare is IEEE-identical
+        to the scalar form), so the decision list is unchanged — the
+        common "nothing fits" decision collapses to a few C passes.
+        """
+        head = recs[qpos]
+        need = head.job.n_nodes
         # Phase 2: compute the head job's reservation from running jobs'
         # *requested* end times (the scheduler cannot see true runtimes).
-        releases = sorted(
-            (self._requested_end(rec, ctx.now_s), rec.job.n_nodes)
-            for rec in list(ctx.running) + started
-        )
         avail = free
-        reservation_time = ctx.now_s
+        reservation_time = now_s
         nodes_free_at_reservation = avail
-        for t_end, n in releases:
-            avail += n
-            if avail >= head.job.n_nodes:
-                reservation_time = t_end
+        for item in releases:
+            avail += item[1]
+            if avail >= need:
+                reservation_time = item[0]
                 nodes_free_at_reservation = avail
                 break
         else:
@@ -219,20 +327,57 @@ class EasyBackfillScheduler:
             return started
         # Phase 3: backfill the rest of the queue (bounded by depth).
         shadow_free = free
-        spare_at_reservation = nodes_free_at_reservation - head.job.n_nodes
-        candidates = queue[1:]
+        spare_at_reservation = nodes_free_at_reservation - need
+        stop = len(recs)
         if self.backfill_depth is not None:
-            candidates = candidates[: self.backfill_depth]
-        for rec in candidates:
-            if rec.job.n_nodes > shadow_free:
+            depth_stop = qpos + 1 + self.backfill_depth
+            if depth_stop < stop:
+                stop = depth_stop
+        lo = qpos + 1
+        if lo >= stop or shadow_free == 0:
+            # shadow_free == 0: phase 1 consumed every free node, and
+            # every job needs at least one — no candidate can start.
+            return started
+        if qn is not None:
+            n_col = qn[lo:stop]
+            fb_col = (now_s + qw[lo:stop]) <= reservation_time
+            eligible = (n_col <= shadow_free) & (
+                fb_col | (n_col <= spare_at_reservation)
+            )
+            for off in np.nonzero(eligible)[0].tolist():
+                if shadow_free == 0:
+                    break
+                i = lo + off
+                rec = recs[i]
+                n = rec.job.n_nodes
+                if n > shadow_free:
+                    continue
+                finishes_before = bool(fb_col[off])
+                if finishes_before or n <= spare_at_reservation:
+                    started.append(rec)
+                    if picked is not None:
+                        picked.append(i)
+                    shadow_free -= n
+                    if not finishes_before:
+                        spare_at_reservation -= n
+            return started
+        for i in range(lo, stop):
+            if shadow_free == 0:
+                # Every job needs >= 1 node: nothing behind can start.
+                break
+            rec = recs[i]
+            n = rec.job.n_nodes
+            if n > shadow_free:
                 continue
-            finishes_before = ctx.now_s + rec.job.walltime_req_s <= reservation_time
-            fits_spare = rec.job.n_nodes <= spare_at_reservation
+            finishes_before = now_s + rec.job.walltime_req_s <= reservation_time
+            fits_spare = n <= spare_at_reservation
             if finishes_before or fits_spare:
                 started.append(rec)
-                shadow_free -= rec.job.n_nodes
+                if picked is not None:
+                    picked.append(i)
+                shadow_free -= n
                 if not finishes_before:
-                    spare_at_reservation -= rec.job.n_nodes
+                    spare_at_reservation -= n
         return started
 
     @staticmethod

@@ -16,6 +16,12 @@ Use it three ways:
 * CLI (CI smoke): ``python tests/diff_harness.py --scenarios 50``
   or reproduce one failure with ``python tests/diff_harness.py --seed N``.
 
+**Cap-heavy mode** (``--cap-heavy N`` / ``--cap-heavy-seed N``) draws
+from a sampler biased to where the epoch-settled trim path actually
+runs: every scenario capped at 40–65 % of nameplate (rho binds and
+moves on nearly every event), oversubscribed backlogs, step caps via
+the time-varying policy, and outage/requeue interleavings.
+
 **Cache mode** pins the content-addressed campaign cache the same way
 the core sweep pins the simulator backends: every seeded random
 campaign grid runs cold (no cache), then against a cache being seeded,
@@ -123,6 +129,8 @@ class HarnessScenario:
     cap_w: Optional[float]
     outages: tuple[NodeOutage, ...] = ()
 
+    repro_hint = "--seed"
+
     def build_policy(self):
         """A fresh policy instance (stateful policies must not be shared)."""
         if self.policy_kind == "fifo":
@@ -202,6 +210,63 @@ def random_scenario(seed: int) -> HarnessScenario:
     )
 
 
+@dataclass(frozen=True)
+class CapHeavyScenario(HarnessScenario):
+    """A :class:`HarnessScenario` drawn from the cap-heavy sampler."""
+
+    repro_hint = "--cap-heavy-seed"
+
+
+def cap_heavy_scenario(seed: int) -> CapHeavyScenario:
+    """Deterministically expand ``seed`` into a cap-stressing scenario.
+
+    Every draw is capped, and capped *tight*: 40–65 % of the nameplate
+    budget, so rho binds essentially the whole run and moves on nearly
+    every start/completion — the regime the epoch-settled trim path
+    (DESIGN.md §14) rewrites.  Oversubscribed workloads keep a deep
+    backlog (many same-timestamp decision cascades), the time-varying
+    policy adds *step* caps on top (rho jumps at budget edges, not just
+    at job events), and occasional outages interleave requeue flushes
+    with pending accounting epochs.  Uncapped/loose-cap coverage stays
+    with :func:`random_scenario`; this sampler exists to fuzz the trim
+    machinery where it actually runs.
+    """
+    rng = random.Random(0xCA9 ^ (seed * 0x9E3779B1))
+    n_nodes = rng.choice((4, 8, 16, 24, 32))
+    n_jobs = rng.randrange(40, 161)
+    load_factor = rng.choice((0.9, 1.3, 1.3))
+    policy_kind = rng.choice(
+        ("easy", "easy", "fifo", "power-aware", "time-varying", "time-varying")
+    )
+    cap_fraction = rng.choice((0.4, 0.45, 0.5, 0.55, 0.65))
+    cap_w = cap_fraction * n_nodes * BUDGET_PER_NODE_W
+
+    outages: list[NodeOutage] = []
+    if rng.random() < 0.4:
+        for _ in range(rng.randrange(1, 4)):
+            outages.append(
+                NodeOutage(
+                    at_s=rng.uniform(100.0, 20_000.0),
+                    node_id=rng.randrange(n_nodes),
+                    duration_s=rng.uniform(300.0, 10_000.0),
+                )
+            )
+    label = (
+        f"cap-heavy/{policy_kind}/n{n_nodes}/j{n_jobs}/load{load_factor}"
+        f"/cap{cap_fraction}/out{len(outages)}"
+    )
+    return CapHeavyScenario(
+        seed=seed,
+        label=label,
+        n_nodes=n_nodes,
+        n_jobs=n_jobs,
+        load_factor=load_factor,
+        policy_kind=policy_kind,
+        cap_w=cap_w,
+        outages=tuple(outages),
+    )
+
+
 def run_core(scenario: HarnessScenario, core: str) -> SimulationResult:
     """Run ``scenario`` on one simulator core (fresh policy + workload)."""
     sim = ClusterSimulator(
@@ -262,14 +327,23 @@ def compare_results(
         _fail(scenario, f"{pair}: digests {da[:16]}… != {db[:16]}…")
 
 
-def assert_equivalent(seed: int, cores: Sequence[str] = CORES) -> HarnessScenario:
+def assert_equivalent(
+    seed: int, cores: Sequence[str] = CORES, sampler=random_scenario,
+) -> HarnessScenario:
     """Run one seeded scenario through ``cores`` and demand equality."""
-    scenario = random_scenario(seed)
+    scenario = sampler(seed)
     base_core = cores[0]
     base = run_core(scenario, base_core)
     for core in cores[1:]:
         compare_results(scenario, base, base_core, run_core(scenario, core), core)
     return scenario
+
+
+def assert_cap_heavy_equivalent(
+    seed: int, cores: Sequence[str] = CORES,
+) -> HarnessScenario:
+    """Cap-heavy variant of :func:`assert_equivalent` (tight caps only)."""
+    return assert_equivalent(seed, cores, sampler=cap_heavy_scenario)
 
 
 # --------------------------------------------------------------------------
@@ -518,6 +592,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated core list (default all three)",
     )
     parser.add_argument(
+        "--cap-heavy", type=int, default=0, metavar="N",
+        help="sweep N seeds through the cap-heavy sampler (tight binding "
+             "caps, step caps, frequent rho moves) instead of the "
+             "general scenario space",
+    )
+    parser.add_argument(
+        "--cap-heavy-seed", type=int,
+        help="run exactly this cap-heavy scenario seed",
+    )
+    parser.add_argument(
         "--cache", type=int, default=0, metavar="N",
         help="cache mode: sweep N seeded campaign grids through "
              "cold/warm/kill-and-resume equality (skips the core sweep)",
@@ -549,6 +633,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             check_bench_grids()
         return 0
     cores = tuple(args.cores.split(","))
+    if args.cap_heavy > 0 or args.cap_heavy_seed is not None:
+        seeds = (
+            [args.cap_heavy_seed] if args.cap_heavy_seed is not None
+            else list(range(args.base_seed, args.base_seed + args.cap_heavy))
+        )
+        for seed in seeds:
+            scenario = assert_cap_heavy_equivalent(seed, cores)
+            print(f"seed {seed:>5}  OK  {scenario.label}")
+        print(f"{len(seeds)} cap-heavy scenarios, {len(cores)} cores: "
+              "all equivalent")
+        return 0
     seeds = [args.seed] if args.seed is not None else list(
         range(args.base_seed, args.base_seed + args.scenarios)
     )

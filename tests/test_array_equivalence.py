@@ -18,18 +18,57 @@ import pytest
 
 from tests.diff_harness import (
     CORES,
+    assert_cap_heavy_equivalent,
     assert_equivalent,
+    cap_heavy_scenario,
     compare_results,
     random_scenario,
     run_core,
 )
 
 N_SWEEP_SEEDS = 200
+N_CAP_HEAVY_SEEDS = 40
 
 
 @pytest.mark.parametrize("seed", range(N_SWEEP_SEEDS))
 def test_cores_equivalent(seed):
     assert_equivalent(seed)
+
+
+@pytest.mark.parametrize("seed", range(N_CAP_HEAVY_SEEDS))
+def test_cores_equivalent_cap_heavy(seed):
+    """Tight-cap fuzzing: rho binds and moves on nearly every event, so
+    the epoch-settled trim path (lazy accounting replay, vectorized
+    catch-up, same-timestamp cascade batching) is exercised constantly
+    rather than incidentally."""
+    assert_cap_heavy_equivalent(seed)
+
+
+def test_cap_heavy_sweep_is_actually_cap_heavy():
+    """Every cap-heavy draw must cap tightly (<= 65 % of nameplate) and
+    the sweep must still cover the policy kinds, step caps included."""
+    scenarios = [cap_heavy_scenario(seed) for seed in range(N_CAP_HEAVY_SEEDS)]
+    assert all(s.cap_w is not None for s in scenarios)
+    from tests.diff_harness import BUDGET_PER_NODE_W
+
+    assert all(
+        s.cap_w <= 0.65 * s.n_nodes * BUDGET_PER_NODE_W + 1e-9
+        for s in scenarios
+    )
+    kinds = {s.policy_kind for s in scenarios}
+    assert "time-varying" in kinds  # step caps: rho moves between events
+    assert "easy" in kinds  # deep-backlog decision cascades
+    assert any(s.outages for s in scenarios)
+
+
+def test_cap_heavy_divergence_reports_repro_seed():
+    """Cap-heavy failures must point at --cap-heavy-seed, not --seed."""
+    scenario = cap_heavy_scenario(0)
+    other = cap_heavy_scenario(1)
+    a = run_core(scenario, "calendar")
+    b = run_core(other, "calendar")
+    with pytest.raises(AssertionError, match=r"--cap-heavy-seed 0"):
+        compare_results(scenario, a, "calendar", b, "array")
 
 
 def test_sweep_covers_the_scenario_space():
